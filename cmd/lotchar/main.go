@@ -1,0 +1,109 @@
+// Command lotchar completes the characterization methodology of §1: it
+// takes the worst-case tests found by the CI flow (plus a March baseline),
+// screens them across a statistically significant sample of dies, and
+// extracts the final device specification over the environmental grid —
+// "every combination of two or more environmental variables".
+//
+// Usage:
+//
+//	lotchar -db worst.json -dies 25
+//	lotchar -dies 10 -guardband 0.08        # built-in worst-case pattern
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/ate"
+	"repro/internal/charspec"
+	"repro/internal/core"
+	"repro/internal/dut"
+	"repro/internal/testgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lotchar: ")
+
+	var (
+		seed      = flag.Int64("seed", 1, "random seed")
+		dbPath    = flag.String("db", "", "worst-case database from 'characterize -db' (optional)")
+		dies      = flag.Int("dies", 20, "number of dies in the sample lot")
+		guardband = flag.Float64("guardband", 0.05, "spec extraction guardband fraction")
+		sites     = flag.Int("sites", 4, "concurrent tester sites for the lot screen")
+	)
+	flag.Parse()
+
+	geom := dut.DefaultGeometry()
+	cond := testgen.NominalConditions()
+
+	// Assemble the screened test set: the database tests (or a built-in
+	// coordinated worst-case pattern) plus a March C- baseline.
+	var tests []testgen.Test
+	if *dbPath != "" {
+		db, err := core.LoadDatabaseFile(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, e := range db.Entries {
+			if i >= 5 {
+				break // the five worst are plenty for a lot screen
+			}
+			tests = append(tests, e.Test)
+		}
+		fmt.Printf("loaded %d worst-case tests from %s\n", len(tests), *dbPath)
+	} else {
+		words := geom.Words()
+		seq := make(testgen.Sequence, 0, 800)
+		for i := 0; i < 200; i++ {
+			base := uint32(0)
+			if i%2 == 1 {
+				base = words - 2
+			}
+			seq = append(seq,
+				testgen.Vector{Op: testgen.OpWrite, Addr: base, Data: 0},
+				testgen.Vector{Op: testgen.OpWrite, Addr: base + 1, Data: 0xFFFFFFFF},
+			)
+		}
+		tests = append(tests, testgen.Test{Name: "WORST-BUILTIN", Seq: seq, Cond: cond})
+		fmt.Println("no database given; using the built-in coordinated worst-case pattern")
+	}
+	march, err := testgen.MarchTest(testgen.MarchCMinus(), 0, 100, 0x55555555, cond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tests = append(tests, march)
+
+	// --- Lot screen -------------------------------------------------------
+	lot := dut.NewDieLot(*seed, *dies)
+	rep, err := core.ScreenLotParallel(ate.TDQ, tests, lot, geom, *seed, *sites)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep.Format())
+
+	// --- Spec extraction on the worst die ---------------------------------
+	var worstDie *dut.Die
+	for _, d := range lot {
+		if d.ID == rep.WorstDie.DieID {
+			worstDie = d
+			break
+		}
+	}
+	dev, err := dut.NewDevice(geom, worstDie)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tester := ate.New(dev, *seed+999)
+	cfg := charspec.DefaultConfig()
+	cfg.Guardband = *guardband
+	spec, err := charspec.Extract(tester, ate.TDQ, tests, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("environmental sweep on the worst die (#%d, %s):\n", worstDie.ID, worstDie.Corner)
+	fmt.Print(spec.Format())
+}

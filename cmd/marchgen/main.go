@@ -1,0 +1,90 @@
+// Command marchgen expands March algorithms into runnable pattern files.
+// Algorithms come from the built-in library (MATS, MATS+, MATS++, March
+// X/Y/A/B/C-/SS/LR) or from element notation given on the command line,
+// using either the ⇑/⇓/⇕ arrows of the literature or the ASCII u/d/a
+// fallbacks.
+//
+// Usage:
+//
+//	marchgen -list
+//	marchgen -alg "March C-" -words 100 -o marchc.pat
+//	marchgen -notation "a(w0); u(r0,w1); d(r1,w0)" -name my-march -words 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/testgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("marchgen: ")
+
+	var (
+		list     = flag.Bool("list", false, "list the built-in algorithm library")
+		algName  = flag.String("alg", "", "library algorithm to expand")
+		notation = flag.String("notation", "", "explicit element notation to parse instead of -alg")
+		name     = flag.String("name", "custom", "algorithm name for -notation")
+		base     = flag.Uint("base", 0, "first address of the expansion window")
+		words    = flag.Uint("words", 100, "window width in words")
+		bg       = flag.Uint("background", 0x55555555, "data background")
+		vdd      = flag.Float64("vdd", 1.8, "supply condition (V)")
+		out      = flag.String("o", "", "output pattern file (default stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		names := testgen.MarchLibraryNames()
+		sort.Strings(names)
+		fmt.Printf("%-10s %-5s %s\n", "name", "kN", "notation")
+		for _, n := range names {
+			alg, err := testgen.MarchFromLibrary(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %2dN   %s\n", n, alg.Complexity(), testgen.FormatMarch(alg))
+		}
+		return
+	}
+
+	var alg testgen.MarchAlgorithm
+	var err error
+	switch {
+	case *notation != "":
+		alg, err = testgen.ParseMarch(*name, *notation)
+	case *algName != "":
+		alg, err = testgen.MarchFromLibrary(*algName)
+	default:
+		log.Fatal("need -list, -alg or -notation")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cond := testgen.NominalConditions()
+	cond.VddV = *vdd
+	test, err := testgen.MarchTest(alg, uint32(*base), uint32(*words), uint32(*bg), cond)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := testgen.WriteTests(w, []testgen.Test{test}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "marchgen: %s expanded to %d vectors (%dN over %d words)\n",
+		alg.Name, len(test.Seq), alg.Complexity(), *words)
+}

@@ -1,0 +1,83 @@
+// Command shmoo regenerates the fig. 8 overlay shmoo plot: many random
+// tests swept over supply voltage (Y) and the T_DQ strobe (X) in a single
+// plot, so the test-dependent trip point variation shows up as a partial
+// pass band between the all-pass and any-pass boundaries.
+//
+// Usage:
+//
+//	shmoo -tests 1000                 # the paper's 1000-test overlay
+//	shmoo -tests 100 -db worst.json   # overlay a saved worst-case database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/ate"
+	"repro/internal/core"
+	"repro/internal/dut"
+	"repro/internal/shmoo"
+	"repro/internal/testgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shmoo: ")
+
+	var (
+		seed   = flag.Int64("seed", 1, "random seed")
+		tests  = flag.Int("tests", 1000, "number of random tests to overlay")
+		dbPath = flag.String("db", "", "also overlay the tests of this worst-case database")
+		vddMin = flag.Float64("vdd-min", 1.4, "Y axis lower bound (V)")
+		vddMax = flag.Float64("vdd-max", 2.2, "Y axis upper bound (V)")
+		xMin   = flag.Float64("tdq-min", 18, "X axis lower bound (ns)")
+		xMax   = flag.Float64("tdq-max", 36, "X axis upper bound (ns)")
+	)
+	flag.Parse()
+
+	dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tester := ate.New(dev, *seed)
+	cond := testgen.NominalConditions()
+	gen := testgen.NewRandomGenerator(*seed+1, dev.Geometry().Words(), testgen.DefaultConditionLimits())
+	gen.FixedConditions = &cond
+
+	x := shmoo.DefaultTDQAxis()
+	x.Min, x.Max = *xMin, *xMax
+	y := shmoo.DefaultVddAxis()
+	y.Min, y.Max = *vddMin, *vddMax
+
+	plot, err := shmoo.NewPlot(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *tests; i++ {
+		if err := plot.AddTest(tester, gen.Next()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *dbPath != "" {
+		db, err := core.LoadDatabaseFile(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range db.Entries {
+			if err := plot.AddTest(tester, e.Test); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("overlaying %d database tests on top of %d random tests\n", db.Len(), *tests)
+	}
+
+	fmt.Print(plot.Render())
+	fmt.Printf("worst-case trip point variation: %.2f ns\n", plot.WorstCaseVariation())
+	allPass, anyPass, ok := plot.BoundarySpread(plot.Y.Steps / 2)
+	if ok {
+		fmt.Printf("at mid supply: all tests pass up to %.2f ns, some up to %.2f ns\n", allPass, anyPass)
+	}
+	s := tester.Stats()
+	fmt.Printf("tester: %d measurements, %.1f s simulated test time\n", s.Measurements, s.TestTimeSec)
+}

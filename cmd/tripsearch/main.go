@@ -1,0 +1,130 @@
+// Command tripsearch compares the trip-point search algorithms on the
+// simulated device: the classic ATE baselines (linear, binary, successive
+// approximation — fig. 1) against the paper's Search Until Trip Point
+// method (fig. 3), reporting trip points and measurement costs over a run
+// of random tests.
+//
+// Usage:
+//
+//	tripsearch -tests 50
+//	tripsearch -param vddmin -tests 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/ate"
+	"repro/internal/dut"
+	"repro/internal/search"
+	"repro/internal/testgen"
+	"repro/internal/trippoint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tripsearch: ")
+
+	var (
+		seed      = flag.Int64("seed", 1, "random seed")
+		tests     = flag.Int("tests", 50, "number of random tests per algorithm")
+		paramName = flag.String("param", "tdq", "parameter: tdq, fmax, vddmin")
+		directed  = flag.Bool("directed", false, "also measure the directed baseline suite (March + stress patterns)")
+	)
+	flag.Parse()
+
+	var param ate.Parameter
+	switch *paramName {
+	case "tdq":
+		param = ate.TDQ
+	case "fmax":
+		param = ate.Fmax
+	case "vddmin":
+		param = ate.VddMin
+	default:
+		log.Fatalf("unknown parameter %q", *paramName)
+	}
+
+	dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tester := ate.New(dev, *seed)
+	cond := testgen.NominalConditions()
+	gen := testgen.NewRandomGenerator(*seed+1, dev.Geometry().Words(), testgen.DefaultConditionLimits())
+	gen.FixedConditions = &cond
+	batch := gen.Batch(*tests)
+
+	algos := []struct {
+		name string
+		mk   func() search.Searcher
+	}{
+		{"linear", func() search.Searcher { return search.Linear{Step: param.Resolution() * 4} }},
+		{"binary", func() search.Searcher { return search.Binary{} }},
+		{"successive-approx", func() search.Searcher { return search.SuccessiveApproximation{} }},
+		{"SUTP (paper)", func() search.Searcher { return &search.SUTP{SF: 4 * param.Resolution()} }},
+		{"SUTP refined", func() search.Searcher { return &search.SUTP{SF: 4 * param.Resolution(), Refine: true} }},
+	}
+
+	opt := param.SearchOptions()
+	fmt.Printf("Trip-point search comparison: %s over [%g, %g] %s, resolution %g, %d tests\n\n",
+		param, opt.Lo, opt.Hi, param.Unit(), opt.Resolution, *tests)
+	fmt.Printf("%-18s %12s %15s %12s %12s\n", "algorithm", "total meas", "meas/test", "mean trip", "spread")
+
+	for _, a := range algos {
+		runner := trippoint.NewRunner(tester, param)
+		runner.Searcher = a.mk()
+		dsv, err := runner.MeasureAll(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := dsv.Stats()
+		fmt.Printf("%-18s %12d %15.1f %9.3f %s %9.3f %s\n",
+			a.name, dsv.TotalMeasurements(),
+			float64(dsv.TotalMeasurements())/float64(*tests),
+			s.Mean, param.Unit(), s.Range, param.Unit())
+	}
+
+	fmt.Printf("\nSUTP cost structure (fig. 3): first search establishes RTP over the full\n")
+	fmt.Printf("characterization range CR; every later search steps outward from RTP in\n")
+	fmt.Printf("SF(IT) = SF·IT increments, so cost per test collapses once RTP exists.\n")
+	runner := trippoint.NewRunner(tester, param)
+	dsv, err := runner.MeasureAll(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := dsv.Stats()
+	fmt.Printf("first search: %d measurements, follow-up mean: %.1f measurements\n",
+		s.FirstSearchCost, s.FollowupSearchCost)
+
+	if *directed {
+		fmt.Printf("\nDirected baseline landscape (%s per pattern):\n", param)
+		geom := dev.Geometry()
+		suite, err := testgen.DirectedSuite(geom.Words(), uint32(geom.Cols), cond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		march, err := testgen.MarchTest(testgen.MarchCMinus(), 0, 100, 0x55555555, cond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite = append([]testgen.Test{march}, suite...)
+		dr := trippoint.NewRunner(tester, param)
+		dr.Searcher = &search.SUTP{Refine: true}
+		for _, t := range suite {
+			m, err := dr.Measure(t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s %8.3f %s (%d measurements)\n", t.Name, m.TripPoint, param.Unit(), m.Measurements)
+		}
+		ds := dr.DSV().Stats()
+		worstVal, worstName := ds.Min, ds.MinTest
+		if _, isMin := param.SpecValue(); !isMin {
+			worstVal, worstName = ds.Max, ds.MaxTest // max-spec: larger is worse
+		}
+		fmt.Printf("directed worst: %.3f %s by %s — compare the NN+GA result from cmd/characterize\n",
+			worstVal, param.Unit(), worstName)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "Computational Intelligence Characterization
+// Method of Semiconductor Device" (Liau & Schmitt-Landsiedel, DATE 2005):
+// a worst-case device characterization flow that couples multiple-trip-point
+// measurement and the Search-Until-Trip-Point algorithm with a fuzzy-coded
+// neural-network voting machine and a dual-chromosome genetic algorithm on
+// a simulated memory test chip and ATE.
+//
+// The paper's systems live under internal/ (see DESIGN.md for the full
+// inventory), executables under cmd/, runnable walkthroughs under
+// examples/, and the benchmark harness that regenerates every table and
+// figure of the paper's evaluation in bench_test.go (results recorded in
+// EXPERIMENTS.md).
+package repro

@@ -1,0 +1,121 @@
+// Searchsavings: quantifies the Search Until Trip Point algorithm of §4
+// (fig. 3) — the paper's answer to the measurement-speed problem of the
+// multiple trip point concept.
+//
+// It measures the same batch of tests four ways (linear, binary, successive
+// approximation, SUTP) and prints the per-test measurement cost and the
+// cumulative cost curve, showing the "huge savings of measurement time"
+// once the reference trip point is established.
+//
+// Run with: go run ./examples/searchsavings
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/ate"
+	"repro/internal/dut"
+	"repro/internal/search"
+	"repro/internal/testgen"
+	"repro/internal/trippoint"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tester := ate.New(dev, 21)
+	cond := testgen.NominalConditions()
+	gen := testgen.NewRandomGenerator(22, dev.Geometry().Words(), testgen.DefaultConditionLimits())
+	gen.FixedConditions = &cond
+
+	const n = 40
+	batch := gen.Batch(n)
+
+	type result struct {
+		name  string
+		costs []int
+		total int
+	}
+	var results []result
+	for _, algo := range []struct {
+		name string
+		mk   search.Searcher
+	}{
+		{"binary (full range per test)", search.Binary{}},
+		{"successive approximation", search.SuccessiveApproximation{}},
+		{"SUTP (paper, §4)", &search.SUTP{SF: 0.4}},
+	} {
+		runner := trippoint.NewRunner(tester, ate.TDQ)
+		runner.Searcher = algo.mk
+		dsv, err := runner.MeasureAll(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := result{name: algo.name}
+		for _, m := range dsv.Values {
+			r.costs = append(r.costs, m.Measurements)
+			r.total += m.Measurements
+		}
+		results = append(results, r)
+	}
+
+	fmt.Printf("measurement cost over %d tests (T_DQ, range %g–%g ns, resolution %g ns)\n\n",
+		n, ate.TDQ.SearchOptions().Lo, ate.TDQ.SearchOptions().Hi, ate.TDQ.Resolution())
+	for _, r := range results {
+		fmt.Printf("%-30s total %4d, mean %.1f per test\n", r.name, r.total, float64(r.total)/n)
+	}
+
+	// Per-test cost sparkline: the SUTP collapse after test 1 is the
+	// paper's fig. 3 story.
+	fmt.Println("\nper-test cost (each column is one test):")
+	for _, r := range results {
+		var b strings.Builder
+		for _, c := range r.costs {
+			b.WriteByte(sparkChar(c))
+		}
+		fmt.Printf("%-30s %s\n", r.name, b.String())
+	}
+	fmt.Println("\nscale: 1 ≤2, 2 ≤4, 3 ≤6, 4 ≤9, 5 ≤12, 6 ≤16, 7 >16 measurements")
+
+	sutp, binary := results[2], results[0]
+	fmt.Printf("\nsavings: SUTP uses %.0f%% of the binary-search measurement budget;\n",
+		100*float64(sutp.total)/float64(binary.total))
+	fmt.Printf("after the first test (RTP established) the mean cost drops to %.1f per test.\n",
+		mean(sutp.costs[1:]))
+}
+
+func sparkChar(c int) byte {
+	switch {
+	case c <= 2:
+		return '1'
+	case c <= 4:
+		return '2'
+	case c <= 6:
+		return '3'
+	case c <= 9:
+		return '4'
+	case c <= 12:
+		return '5'
+	case c <= 16:
+		return '6'
+	default:
+		return '7'
+	}
+}
+
+func mean(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}

@@ -1,0 +1,111 @@
+// Worstcase: the full computational-intelligence flow of the paper — the
+// learning scheme of fig. 4 followed by the optimization scheme of fig. 5 —
+// reproducing the Table 1 comparison on the simulated memory chip.
+//
+// The program prints each phase as it runs: multiple-trip-point learning,
+// NN ensemble training with the weight file, NN-proposed sub-optimal seeds,
+// GA optimization with ATE fitness, and the final worst-case test database.
+//
+// Run with: go run ./examples/worstcase
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ate"
+	"repro/internal/core"
+	"repro/internal/dut"
+	"repro/internal/testgen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tester := ate.New(dev, 7)
+
+	cfg := core.DefaultConfig(7)
+	nominal := testgen.NominalConditions()
+	cfg.FixedConditions = &nominal // Table 1 is specified at Vdd 1.8 V
+
+	char, err := core.NewCharacterizer(cfg, tester)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Learning scheme (fig. 4) ---------------------------------------
+	fmt.Println("phase 1 — learning scheme (fig. 4)")
+	learned, err := char.Learn()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := learned.DSV.Stats()
+	fmt.Printf("  measured %d random tests; trip points %.2f–%.2f ns (spread %.2f ns)\n",
+		stats.N, stats.Min, stats.Max, stats.Range)
+	fmt.Printf("  first search cost %d measurements, follow-up mean %.1f (SUTP, §4)\n",
+		stats.FirstSearchCost, stats.FollowupSearchCost)
+	fmt.Printf("  trained voting ensemble of %d networks, MSE %.5f\n",
+		learned.Ensemble.Size(), learned.EnsembleValErr)
+
+	dir, err := os.MkdirTemp("", "worstcase")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	weightPath := filepath.Join(dir, "nn-weights.json")
+	if err := char.SaveWeights(weightPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  weight file: %s\n\n", weightPath)
+
+	// --- NN test generator (fig. 5 step 1) -------------------------------
+	fmt.Println("phase 2 — fuzzy-neural test generator (software only)")
+	cands, err := char.ProposeSeeds()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ranked %d candidates, selected %d sub-optimal seeds\n",
+		cfg.CandidatePool, len(cands))
+	for i, c := range cands[:3] {
+		fmt.Printf("   seed %d: %-9s predicted WCR %.3f (confidence %.2f)\n",
+			i+1, c.Test.Name, c.Severity, c.Confidence)
+	}
+	fmt.Println()
+
+	// --- GA optimization (fig. 5) ----------------------------------------
+	fmt.Println("phase 3 — GA optimization with ATE fitness (fig. 5)")
+	opt, err := char.OptimizeFrom(core.SeedsForGA(cands))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d generations, %d fitness evaluations, %d population restarts\n",
+		opt.GA.Generations, opt.GA.Evaluations, opt.GA.Restarts)
+	fmt.Printf("  fitness trajectory (global best WCR): first %.3f → final %.3f\n",
+		opt.GA.BestHistory[0], opt.GA.BestHistory[len(opt.GA.BestHistory)-1])
+
+	best, ok := opt.Database.Worst()
+	if !ok {
+		log.Fatal("no worst case found")
+	}
+	fmt.Printf("\nworst-case test: %s\n", best.Test.Name)
+	fmt.Printf("  WCR %.3f → class %s\n", best.WCR, best.Class)
+	fmt.Printf("  T_DQ %.2f ns against the %.0f ns spec\n", best.Value, dut.SpecTDQNS)
+
+	// --- The Table 1 punchline -------------------------------------------
+	fmt.Println("\ncomparison (Table 1 shape, paper: 0.619 / 0.701 / 0.904):")
+	tab, err := core.RunTable1(core.Table1Config{
+		Flow:             cfg,
+		RandomTests:      300,
+		MarchWindowWords: 100,
+	}, tester)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tab.Format())
+}

@@ -1,0 +1,108 @@
+package ate
+
+import (
+	"fmt"
+
+	"repro/internal/dut"
+	"repro/internal/search"
+)
+
+// Parameter identifies a characterizable AC/DC parameter. The paper
+// recommends generating neural networks "individually for each parameter or
+// each characterization analysis task" (§5); the same holds here — one
+// Parameter per characterization run.
+type Parameter uint8
+
+const (
+	// TDQ is the data output valid time of fig. 7 (ns). Spec minimum
+	// 20 ns; the minimum over tests is the worst case (eq. 6).
+	TDQ Parameter = iota
+	// Fmax is the maximum passing clock frequency (MHz).
+	Fmax
+	// VddMin is the minimum passing supply voltage (V).
+	VddMin
+)
+
+// String names the parameter.
+func (p Parameter) String() string {
+	switch p {
+	case TDQ:
+		return "T_DQ"
+	case Fmax:
+		return "Fmax"
+	case VddMin:
+		return "Vddmin"
+	default:
+		return fmt.Sprintf("Parameter(%d)", uint8(p))
+	}
+}
+
+// Unit returns the parameter's engineering unit.
+func (p Parameter) Unit() string {
+	switch p {
+	case TDQ:
+		return "ns"
+	case Fmax:
+		return "MHz"
+	case VddMin:
+		return "V"
+	default:
+		return "?"
+	}
+}
+
+// SearchOptions returns the generous characterization range, resolution and
+// orientation for a full-range trip point search of the parameter (§4:
+// "very generous starting ranges should be selected").
+func (p Parameter) SearchOptions() search.Options {
+	switch p {
+	case TDQ:
+		// Strobe sweep: pass at short strobes, fail once the strobe
+		// exceeds the device's valid window (eq. 3 orientation).
+		return search.Options{Lo: 10, Hi: 45, Resolution: 0.1, Orientation: search.PassLow}
+	case Fmax:
+		return search.Options{Lo: 40, Hi: 150, Resolution: 0.5, Orientation: search.PassLow}
+	case VddMin:
+		// Pass above Vddmin, fail below (eq. 4 orientation).
+		return search.Options{Lo: 1.0, Hi: 2.2, Resolution: 0.01, Orientation: search.PassHigh}
+	default:
+		return search.Options{}
+	}
+}
+
+// Resolution is a convenience accessor for the parameter's default search
+// resolution (also the base of the measurement-noise sigma).
+func (p Parameter) Resolution() float64 { return p.SearchOptions().Resolution }
+
+// SpecValue returns the specification limit for the parameter and whether
+// the spec is a minimum (true) or a maximum (false). WCR computation (eqs.
+// 5/6) selects its form from this.
+func (p Parameter) SpecValue() (value float64, isMinimum bool) {
+	switch p {
+	case TDQ:
+		return dut.SpecTDQNS, true // window must be at least 20 ns
+	case Fmax:
+		return 100, true // device must reach the 100 MHz specified clock
+	case VddMin:
+		return 1.62, false // device must start at or below Vdd−10%
+	default:
+		return 0, true
+	}
+}
+
+// TrueValue returns the noise-free parameter value of a profile — the
+// oracle the simulator can expose but real ATE cannot. Tests use it to
+// verify that searches converge to the truth; the characterization flow
+// itself never calls it.
+func (p Parameter) TrueValue(profile dut.Profile) float64 {
+	switch p {
+	case TDQ:
+		return profile.TDQWindowNS()
+	case Fmax:
+		return profile.FmaxMHz()
+	case VddMin:
+		return profile.VddMinV()
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,80 @@
+package ate
+
+import (
+	"testing"
+
+	"repro/internal/search"
+)
+
+func TestParameterStringsAndUnits(t *testing.T) {
+	cases := []struct {
+		p    Parameter
+		name string
+		unit string
+	}{
+		{TDQ, "T_DQ", "ns"},
+		{Fmax, "Fmax", "MHz"},
+		{VddMin, "Vddmin", "V"},
+	}
+	for _, c := range cases {
+		if c.p.String() != c.name {
+			t.Errorf("%v name = %q, want %q", c.p, c.p.String(), c.name)
+		}
+		if c.p.Unit() != c.unit {
+			t.Errorf("%v unit = %q, want %q", c.p, c.p.Unit(), c.unit)
+		}
+	}
+	if Parameter(9).Unit() != "?" {
+		t.Error("unknown parameter unit")
+	}
+}
+
+func TestSearchOptionsValid(t *testing.T) {
+	for _, p := range []Parameter{TDQ, Fmax, VddMin} {
+		opt := p.SearchOptions()
+		if err := opt.Validate(); err != nil {
+			t.Errorf("%v search options invalid: %v", p, err)
+		}
+	}
+}
+
+func TestSearchOrientations(t *testing.T) {
+	// T_DQ strobe and Fmax pass on the low side (eq. 3); Vddmin passes on
+	// the high side (eq. 4).
+	if TDQ.SearchOptions().Orientation != search.PassLow {
+		t.Error("T_DQ orientation")
+	}
+	if Fmax.SearchOptions().Orientation != search.PassLow {
+		t.Error("Fmax orientation")
+	}
+	if VddMin.SearchOptions().Orientation != search.PassHigh {
+		t.Error("Vddmin orientation")
+	}
+}
+
+func TestSpecValues(t *testing.T) {
+	v, isMin := TDQ.SpecValue()
+	if v != 20 || !isMin {
+		t.Errorf("T_DQ spec = %g, isMin=%v; want 20 ns minimum", v, isMin)
+	}
+	v, isMin = Fmax.SpecValue()
+	if v != 100 || !isMin {
+		t.Errorf("Fmax spec = %g, isMin=%v; want 100 MHz minimum", v, isMin)
+	}
+	v, isMin = VddMin.SpecValue()
+	if v != 1.62 || isMin {
+		t.Errorf("Vddmin spec = %g, isMin=%v; want 1.62 V maximum", v, isMin)
+	}
+}
+
+func TestSpecInsideSearchRange(t *testing.T) {
+	// The spec limit must lie inside the generous search range, otherwise
+	// a spec-violating trip point could never be observed.
+	for _, p := range []Parameter{TDQ, Fmax, VddMin} {
+		opt := p.SearchOptions()
+		spec, _ := p.SpecValue()
+		if spec <= opt.Lo || spec >= opt.Hi {
+			t.Errorf("%v spec %g outside search range [%g, %g]", p, spec, opt.Lo, opt.Hi)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package ate
+
+import "math"
+
+// Thermal models device self-heating during a characterization session —
+// the effect behind the paper's warning that "if the specification
+// parameter changes over time due to device heating or other factors, an
+// inaccurate reading could result" (§1) and the reason successive
+// approximation carries drift sensing.
+//
+// The junction temperature rise above ambient follows a first-order
+// thermal network: each applied vector deposits energy proportional to the
+// switching activity, and the rise decays toward zero with the thermal
+// time constant while the tester idles between measurements.
+type Thermal struct {
+	// RisePerVector is the asymptotic temperature contribution of one
+	// fully-active vector cycle (°C). Zero disables heating.
+	RisePerVector float64
+	// TauSec is the thermal time constant of the package.
+	TauSec float64
+	// MaxRiseC caps the junction rise (the thermal network's resistance).
+	MaxRiseC float64
+
+	riseC    float64
+	lastTime float64
+}
+
+// DefaultThermal returns a model producing a few °C of rise over a long
+// characterization run — enough to shift T_DQ by a measurable fraction of
+// a nanosecond, matching the drift magnitudes ATE drift-sensing exists for.
+func DefaultThermal() *Thermal {
+	return &Thermal{
+		RisePerVector: 0.004,
+		TauSec:        2.0,
+		MaxRiseC:      30,
+	}
+}
+
+// advance updates the junction rise for a measurement that applies vectors
+// cycles of the given mean activity at simulated time nowSec.
+func (th *Thermal) advance(nowSec float64, vectors int, activity float64) {
+	if th == nil || th.RisePerVector == 0 {
+		return
+	}
+	if th.TauSec > 0 {
+		dt := nowSec - th.lastTime
+		if dt > 0 {
+			th.riseC *= math.Exp(-dt / th.TauSec)
+		}
+	}
+	th.lastTime = nowSec
+	th.riseC += th.RisePerVector * float64(vectors) * activity
+	if th.riseC > th.MaxRiseC {
+		th.riseC = th.MaxRiseC
+	}
+}
+
+// RiseC returns the current junction temperature rise above ambient.
+func (th *Thermal) RiseC() float64 {
+	if th == nil {
+		return 0
+	}
+	return th.riseC
+}
+
+// Reset cools the device back to ambient (a new insertion).
+func (th *Thermal) Reset() {
+	if th != nil {
+		th.riseC = 0
+		th.lastTime = 0
+	}
+}

@@ -1,0 +1,159 @@
+// Package core implements the paper's primary contribution: the
+// computational-intelligence device characterization flow that couples an
+// industrial ATE with a fuzzy-coded neural-network learning scheme (fig. 4)
+// and a genetic-algorithm worst-case test optimizer (fig. 5).
+//
+// The flow in one paragraph: a random test generator drives the ATE, which
+// measures one trip point per test using the multiple-trip-point concept
+// and the Search-Until-Trip-Point algorithm; trip points are encoded with
+// fuzzy severity sets; an ensemble of neural networks (a voting machine)
+// learns the test→severity mapping and is persisted as a weight file; the
+// trained ensemble then generates sub-optimal worst-case candidates purely
+// in software, which seed a dual-chromosome genetic algorithm whose fitness
+// is a real ATE trip-point measurement expressed as the Worst Case Ratio;
+// the best tests of every GA era land in the worst-case test database for
+// detailed analysis.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ate"
+	"repro/internal/fuzzy"
+	"repro/internal/genetic"
+	"repro/internal/neural"
+	"repro/internal/search"
+	"repro/internal/testgen"
+)
+
+// Config assembles everything one characterization run needs.
+type Config struct {
+	// Parameter is the AC/DC parameter under characterization; one flow
+	// characterizes exactly one parameter (§5: generate NNs "individually
+	// for each parameter").
+	Parameter ate.Parameter
+
+	// Seed drives every random draw of the flow.
+	Seed int64
+
+	// Coding selects fuzzy or plain numeric trip-point encoding.
+	Coding fuzzy.Coding
+
+	// LearnTests is the number of measured random tests the NN learns
+	// from (the paper used 50k ATE patterns; scaled down by default to
+	// keep the simulation quick — raise it for higher-fidelity runs).
+	LearnTests int
+
+	// EnsembleSize is the number of voting networks.
+	EnsembleSize int
+
+	// HiddenLayers are the MLP hidden layer widths.
+	HiddenLayers []int
+
+	// Train configures backpropagation; zero value takes defaults.
+	Train neural.TrainConfig
+
+	// CandidatePool is the number of software-only candidates the trained
+	// generator ranks when proposing GA seeds.
+	CandidatePool int
+
+	// SeedCount is the number of sub-optimal tests handed to the GA.
+	SeedCount int
+
+	// GA configures the optimizer; zero value takes genetic.DefaultConfig.
+	GA genetic.Config
+
+	// SearchFactor is the SUTP step SF; zero defaults per parameter.
+	SearchFactor float64
+
+	// FixedConditions pins generated and evolved tests to one operating
+	// condition set (Table 1: Vdd 1.8 V). Nil randomizes and evolves
+	// conditions.
+	FixedConditions *testgen.Conditions
+}
+
+// DefaultConfig returns a configuration sized to run the full flow in
+// seconds on a laptop while preserving the paper's structure.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Parameter:     ate.TDQ,
+		Seed:          seed,
+		Coding:        fuzzy.CodingFuzzy,
+		LearnTests:    300,
+		EnsembleSize:  3,
+		HiddenLayers:  []int{20, 10},
+		Train:         neural.DefaultTrainConfig(seed),
+		CandidatePool: 1500,
+		SeedCount:     24,
+		GA:            genetic.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LearnTests < 10 {
+		return fmt.Errorf("core: LearnTests %d too small to train on", c.LearnTests)
+	}
+	if c.EnsembleSize < 1 {
+		return fmt.Errorf("core: EnsembleSize %d must be positive", c.EnsembleSize)
+	}
+	if c.CandidatePool < c.SeedCount {
+		return fmt.Errorf("core: CandidatePool %d smaller than SeedCount %d", c.CandidatePool, c.SeedCount)
+	}
+	if c.SeedCount < 1 {
+		return fmt.Errorf("core: SeedCount %d must be positive", c.SeedCount)
+	}
+	return nil
+}
+
+// Characterizer owns one flow instance: the tester, the generator, the
+// coder and (after Learn) the trained ensemble.
+type Characterizer struct {
+	cfg   Config
+	ate   *ate.ATE
+	gen   *testgen.RandomGenerator
+	coder *fuzzy.TripPointCoder
+
+	learned *LearningResult
+}
+
+// NewCharacterizer wires a flow against a tester insertion.
+func NewCharacterizer(cfg Config, tester *ate.ATE) (*Characterizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tester == nil {
+		return nil, fmt.Errorf("core: nil ATE")
+	}
+	spec, isMin := cfg.Parameter.SpecValue()
+	coder, err := fuzzy.NewTripPointCoder(spec, isMin, cfg.Coding)
+	if err != nil {
+		return nil, err
+	}
+	gen := testgen.NewRandomGenerator(cfg.Seed, tester.Device().Geometry().Words(), testgen.DefaultConditionLimits())
+	gen.FixedConditions = cfg.FixedConditions
+	return &Characterizer{cfg: cfg, ate: tester, gen: gen, coder: coder}, nil
+}
+
+// ATE returns the tester.
+func (c *Characterizer) ATE() *ate.ATE { return c.ate }
+
+// Coder returns the trip-point coder.
+func (c *Characterizer) Coder() *fuzzy.TripPointCoder { return c.coder }
+
+// Generator returns the flow's random test generator.
+func (c *Characterizer) Generator() *testgen.RandomGenerator { return c.gen }
+
+// Config returns the active configuration.
+func (c *Characterizer) Config() Config { return c.cfg }
+
+// searchOptions returns the parameter's generous range with the configured
+// search factor applied.
+func (c *Characterizer) searchOptions() search.Options {
+	return c.cfg.Parameter.SearchOptions()
+}
+
+// newSUTP builds a fresh Search-Until-Trip-Point searcher for a run.
+func (c *Characterizer) newSUTP() *search.SUTP {
+	return &search.SUTP{SF: c.cfg.SearchFactor, Refine: true}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fuzzy"
+	"repro/internal/testgen"
+	"repro/internal/wcr"
+)
+
+// Diagnosis is the rule-based fuzzy analysis of §5's closing remark: "fuzzy
+// logic can describe more than one analysis parameter; such as if A and B
+// and C, then D is quite close to the limit of the target device-spec."
+//
+// Where the neural network is a black-box severity predictor, the
+// diagnosis engine is its interpretable counterpart: a small Mamdani rule
+// base over the activity features of a test that yields both a severity
+// estimate and the linguistic statement of *which* activity combination
+// makes the test dangerous. The flow uses it to annotate worst-case
+// database entries for the failure-analysis engineer.
+type Diagnosis struct {
+	engine *fuzzy.Engine
+	out    *fuzzy.Variable
+}
+
+// Feature variables used by the rule base, drawn from the NN encoding.
+var diagnosisInputs = []struct {
+	name string
+	feat int
+}{
+	{"address-activity", testgen.FeatATDPeak},
+	{"data-toggle", testgen.FeatTogglePeak},
+	{"switching-noise", testgen.FeatSSNProxy},
+	{"coupling", testgen.FeatCoupling},
+}
+
+// NewDiagnosis builds the rule base.
+func NewDiagnosis() (*Diagnosis, error) {
+	out, err := fuzzy.AutoPartition("severity", 0.5, 1.2, fuzzy.SeverityLabels())
+	if err != nil {
+		return nil, err
+	}
+	e, err := fuzzy.NewEngine(out)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range diagnosisInputs {
+		// Partitions are calibrated to physically achievable feature
+		// ranges, not the nominal [0, 1]: address activity of a pattern
+		// that also couples tops out near 0.55 (adjacent addresses differ
+		// in few bits), so "high" must saturate by ≈ 0.65.
+		v := &fuzzy.Variable{
+			Name: in.name, Min: 0, Max: 1,
+			Terms: []fuzzy.Term{
+				{Name: "low", MF: fuzzy.ShoulderLeft{A: 0.15, B: 0.35}, Center: 0.1},
+				{Name: "medium", MF: fuzzy.Triangular{A: 0.2, B: 0.4, C: 0.6}, Center: 0.4},
+				{Name: "high", MF: fuzzy.ShoulderRight{A: 0.4, B: 0.65}, Center: 0.8},
+			},
+		}
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		if err := e.AddInput(v); err != nil {
+			return nil, err
+		}
+	}
+
+	is := func(v, t string) fuzzy.Clause { return fuzzy.Clause{Variable: v, Term: t} }
+	sev := func(t string) fuzzy.Clause { return fuzzy.Clause{Variable: "severity", Term: t} }
+	rules := []fuzzy.Rule{
+		// The paper's example shape: if A and B and C (and D), then the
+		// parameter is at / beyond the limit of the device spec.
+		{If: []fuzzy.Clause{is("address-activity", "high"), is("data-toggle", "high"), is("switching-noise", "high"), is("coupling", "high")},
+			Then: sev("beyond-limit")},
+		{If: []fuzzy.Clause{is("address-activity", "high"), is("data-toggle", "high"), is("switching-noise", "high")},
+			Then: sev("at-limit")},
+		{If: []fuzzy.Clause{is("data-toggle", "high"), is("coupling", "high")},
+			Then: sev("close-to-limit")},
+		{If: []fuzzy.Clause{is("address-activity", "high"), is("switching-noise", "high")},
+			Then: sev("close-to-limit")},
+		{If: []fuzzy.Clause{is("address-activity", "medium"), is("data-toggle", "medium")},
+			Then: sev("safe")},
+		{If: []fuzzy.Clause{is("data-toggle", "high")},
+			Then: sev("safe"), Weight: 0.6},
+		{If: []fuzzy.Clause{is("address-activity", "high")},
+			Then: sev("safe"), Weight: 0.6},
+		{If: []fuzzy.Clause{is("address-activity", "low"), is("data-toggle", "low"), is("switching-noise", "low")},
+			Then: sev("very-safe")},
+	}
+	for _, r := range rules {
+		if err := e.AddRule(r); err != nil {
+			return nil, err
+		}
+	}
+	return &Diagnosis{engine: e, out: out}, nil
+}
+
+// Explanation is the diagnosis of one test.
+type Explanation struct {
+	// Severity is the crisp WCR estimate from the rule base.
+	Severity float64
+	// Class is the fig. 6 band of the estimate.
+	Class wcr.Class
+	// Verdict is the dominant linguistic term ("close-to-limit", …).
+	Verdict string
+	// Drivers lists the input variables graded "high" (≥ 0.5), the "A and
+	// B and C" of the fired rules.
+	Drivers []string
+}
+
+// String renders the explanation as the paper phrases it.
+func (e Explanation) String() string {
+	if len(e.Drivers) == 0 {
+		return fmt.Sprintf("severity %.3f (%s): no aggressive activity terms", e.Severity, e.Verdict)
+	}
+	s := "if "
+	for i, d := range e.Drivers {
+		if i > 0 {
+			s += " and "
+		}
+		s += d
+	}
+	return fmt.Sprintf("%s, then the parameter is %s of the target device-spec (severity %.3f)", s, e.Verdict, e.Severity)
+}
+
+// Explain diagnoses a test from its feature vector.
+func (d *Diagnosis) Explain(features []float64) (Explanation, error) {
+	if len(features) != testgen.NumFeatures {
+		return Explanation{}, fmt.Errorf("core: diagnosis needs %d features, got %d", testgen.NumFeatures, len(features))
+	}
+	inputs := make(map[string]float64, len(diagnosisInputs))
+	var drivers []string
+	for _, in := range diagnosisInputs {
+		v := features[in.feat]
+		inputs[in.name] = v
+		if v >= 0.5 {
+			drivers = append(drivers, in.name)
+		}
+	}
+	grades, err := d.engine.Infer(inputs)
+	if err != nil {
+		return Explanation{}, err
+	}
+	sev := d.out.CentroidDefuzzify(grades, 0)
+
+	best, bi := -1.0, 0
+	for i, g := range grades {
+		if g > best {
+			best, bi = g, i
+		}
+	}
+	verdict := d.out.Terms[bi].Name
+	if best <= 0 {
+		verdict = "unclassified"
+	}
+	return Explanation{
+		Severity: sev,
+		Class:    wcr.Classify(sev),
+		Verdict:  verdict,
+		Drivers:  drivers,
+	}, nil
+}
+
+// ExplainTest extracts features and diagnoses in one call.
+func (d *Diagnosis) ExplainTest(t testgen.Test, limits testgen.ConditionLimits) (Explanation, error) {
+	return d.Explain(testgen.ExtractFeatures(t, limits))
+}

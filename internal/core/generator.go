@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/genetic"
+	"repro/internal/testgen"
+)
+
+// Candidate is one software-generated test with its NN-predicted severity
+// (a WCR estimate) and the voting machine's confidence.
+type Candidate struct {
+	Test       testgen.Test
+	Severity   float64
+	Confidence float64
+}
+
+// ProposeSeeds is the fuzzy-neural network test generator of fig. 5 step 1:
+// it draws CandidatePool random tests, ranks them purely in software by the
+// ensemble's predicted severity (no ATE measurement), and returns the top
+// SeedCount as the "sub-optimal tests selected by fuzzy-neural network test
+// generator based on its previous learning experience". Ranking breaks
+// severity ties toward higher confidence.
+func (c *Characterizer) ProposeSeeds() ([]Candidate, error) {
+	if c.learned == nil || c.learned.Ensemble == nil {
+		return nil, fmt.Errorf("core: no trained ensemble; run Learn or LoadWeights first")
+	}
+	limits := c.gen.Limits()
+	pool := make([]Candidate, 0, c.cfg.CandidatePool)
+	for i := 0; i < c.cfg.CandidatePool; i++ {
+		t := c.gen.Next()
+		feat := testgen.ExtractFeatures(t, limits)
+		pred, conf, err := c.learned.Ensemble.Vote(feat)
+		if err != nil {
+			return nil, fmt.Errorf("core: scoring candidate %d: %w", i, err)
+		}
+		pool = append(pool, Candidate{
+			Test:       t,
+			Severity:   c.coder.Severity(pred),
+			Confidence: conf,
+		})
+	}
+	sort.SliceStable(pool, func(i, j int) bool {
+		if pool[i].Severity != pool[j].Severity {
+			return pool[i].Severity > pool[j].Severity
+		}
+		return pool[i].Confidence > pool[j].Confidence
+	})
+	if len(pool) > c.cfg.SeedCount {
+		pool = pool[:c.cfg.SeedCount]
+	}
+	return pool, nil
+}
+
+// SeedsForGA converts ranked candidates into GA seeds.
+func SeedsForGA(cands []Candidate) []genetic.Seed {
+	seeds := make([]genetic.Seed, len(cands))
+	for i, cand := range cands {
+		seeds[i] = genetic.Seed{Seq: cand.Test.Seq, Cond: cand.Test.Cond}
+	}
+	return seeds
+}
+
+// PredictSeverity scores one test in software (no measurement): the NN
+// classification task of the operation phase.
+func (c *Characterizer) PredictSeverity(t testgen.Test) (severity, confidence float64, err error) {
+	if c.learned == nil || c.learned.Ensemble == nil {
+		return 0, 0, fmt.Errorf("core: no trained ensemble; run Learn or LoadWeights first")
+	}
+	feat := testgen.ExtractFeatures(t, c.gen.Limits())
+	pred, conf, err := c.learned.Ensemble.Vote(feat)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.coder.Severity(pred), conf, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/neural"
+	"repro/internal/testgen"
+	"repro/internal/trippoint"
+)
+
+// LearningResult is everything fig. 4 produces: the trained voting
+// ensemble, the measured DSV set it learned from, and the per-member
+// training reports of the learnability/generalization checks.
+type LearningResult struct {
+	Ensemble *neural.Ensemble
+	Reports  []neural.TrainReport
+	DSV      *trippoint.DSV
+	Dataset  neural.Dataset
+	// EnsembleValErr is the voting machine's error on the full dataset —
+	// the consistency check of fig. 4 step 4.
+	EnsembleValErr float64
+	// Tests are the measured learning tests, aligned with DSV.Values.
+	Tests []testgen.Test
+}
+
+// Learn executes the learning scheme of fig. 4:
+//
+//  1. the random test generator presents tests to the ATE,
+//  2. the multiple-trip-point runner measures one trip point per test
+//     (first test full range per eq. 2, later tests via SUTP eqs. 3/4),
+//  3. the trip point is fuzzy coded (or numerically coded),
+//  4. an ensemble of networks trains on bootstrap subsets with iterative
+//     learnability and generalization checks,
+//  5. the trained ensemble is retained (persist it with SaveWeights).
+func (c *Characterizer) Learn() (*LearningResult, error) {
+	runner := trippoint.NewRunner(c.ate, c.cfg.Parameter)
+	runner.Searcher = c.newSUTP()
+	runner.Options = c.searchOptions()
+
+	limits := c.gen.Limits()
+	res := &LearningResult{}
+	for i := 0; i < c.cfg.LearnTests; i++ {
+		t := c.gen.Next()
+		m, err := runner.Measure(t)
+		if err != nil {
+			return nil, fmt.Errorf("core: learning measurement %d: %w", i, err)
+		}
+		if !m.Converged {
+			// Outside the generous range — skip as unlearnable, matching
+			// ATE practice of flagging range violations for re-setup.
+			continue
+		}
+		res.Tests = append(res.Tests, t)
+		res.Dataset = append(res.Dataset, neural.Sample{
+			Input:  testgen.ExtractFeatures(t, limits),
+			Target: c.coder.Encode(m.TripPoint),
+		})
+	}
+	res.DSV = runner.DSV()
+	if len(res.Dataset) < 10 {
+		return nil, fmt.Errorf("core: only %d converged learning measurements; widen the search range", len(res.Dataset))
+	}
+
+	sizes := append([]int{testgen.NumFeatures}, c.cfg.HiddenLayers...)
+	sizes = append(sizes, c.coder.Width())
+	trainCfg := c.cfg.Train
+	if trainCfg.Epochs == 0 {
+		trainCfg = neural.DefaultTrainConfig(c.cfg.Seed)
+	}
+	ens, reports, err := neural.NewEnsemble(c.cfg.Seed, c.cfg.EnsembleSize, sizes, res.Dataset, trainCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: training ensemble: %w", err)
+	}
+	res.Ensemble = ens
+	res.Reports = reports
+	res.EnsembleValErr, err = ens.Evaluate(res.Dataset)
+	if err != nil {
+		return nil, err
+	}
+
+	c.learned = res
+	return res, nil
+}
+
+// Learned returns the learning result, or nil before Learn ran.
+func (c *Characterizer) Learned() *LearningResult { return c.learned }
+
+// SaveWeights persists the trained ensemble as the NN weight file of fig. 4
+// step 5.
+func (c *Characterizer) SaveWeights(path string) error {
+	if c.learned == nil {
+		return fmt.Errorf("core: no trained ensemble; run Learn first")
+	}
+	meta := map[string]string{
+		"parameter": c.cfg.Parameter.String(),
+		"coding":    c.cfg.Coding.String(),
+	}
+	return c.learned.Ensemble.SaveFile(path, meta)
+}
+
+// LoadWeights installs a previously trained ensemble, enabling the
+// optimization phase without re-learning ("this file will be used in
+// classification task of worst case test based on only software computation
+// without measurement").
+func (c *Characterizer) LoadWeights(path string) error {
+	ens, meta, err := neural.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	if p := meta["parameter"]; p != "" && p != c.cfg.Parameter.String() {
+		return fmt.Errorf("core: weight file was trained for %s, flow characterizes %s", p, c.cfg.Parameter)
+	}
+	if ens.Inputs() != testgen.NumFeatures {
+		return fmt.Errorf("core: weight file input width %d, feature encoding needs %d", ens.Inputs(), testgen.NumFeatures)
+	}
+	if ens.Outputs() != c.coder.Width() {
+		return fmt.Errorf("core: weight file output width %d, coder needs %d", ens.Outputs(), c.coder.Width())
+	}
+	c.learned = &LearningResult{Ensemble: ens}
+	return nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/ate"
+	"repro/internal/dut"
+	"repro/internal/search"
+	"repro/internal/testgen"
+	"repro/internal/trippoint"
+	"repro/internal/wcr"
+)
+
+// Lot screening: §1 requires characterization over "a statistically
+// significant sample of devices". The CI flow finds the worst-case tests
+// on a reference device; ScreenLot then replays those tests (plus any
+// baselines) on every die of a sample lot, measuring per-die trip points
+// and summarizing the process-corner dependence of the worst case.
+
+// DieResult is one die's outcome under the screened test set.
+type DieResult struct {
+	DieID  int
+	Corner dut.Corner
+
+	WorstTrip float64
+	WorstTest string
+	WCR       float64
+	Class     wcr.Class
+	// FunctionalFails counts tests whose replay corrupted reads (weak
+	// cells provoked below their threshold).
+	FunctionalFails int
+}
+
+// LotReport aggregates a screened lot.
+type LotReport struct {
+	Parameter ate.Parameter
+	Tests     int
+	Dies      []DieResult
+
+	// Worst-per-class statistics across the lot.
+	WorstDie       DieResult
+	MeanWorstTrip  float64
+	SpreadLot      float64 // max−min of per-die worst trip points
+	ClassCounts    map[wcr.Class]int
+	PerCornerWorst map[dut.Corner]float64
+
+	Measurements int64
+}
+
+// screenDie measures every test on one die with a fresh tester insertion
+// and returns the die result plus the measurement cost.
+func screenDie(param ate.Parameter, tests []testgen.Test, die *dut.Die, geom dut.Geometry, seed int64) (DieResult, int64, error) {
+	spec, isMin := param.SpecValue()
+	worseThan := func(a, b float64) bool {
+		if isMin {
+			return a < b
+		}
+		return a > b
+	}
+	dev, err := dut.NewDevice(geom, die)
+	if err != nil {
+		return DieResult{}, 0, fmt.Errorf("core: die %d: %w", die.ID, err)
+	}
+	tester := ate.New(dev, seed)
+	runner := trippoint.NewRunner(tester, param)
+	runner.Searcher = &search.SUTP{Refine: true}
+
+	dr := DieResult{DieID: die.ID, Corner: die.Corner}
+	worst := math.Inf(1)
+	if !isMin {
+		worst = math.Inf(-1)
+	}
+	for _, t := range tests {
+		m, err := runner.Measure(t)
+		if err != nil {
+			return DieResult{}, 0, fmt.Errorf("core: die %d test %s: %w", die.ID, t.Name, err)
+		}
+		if m.Converged && worseThan(m.TripPoint, worst) {
+			worst = m.TripPoint
+			dr.WorstTest = t.Name
+		}
+		ok, err := tester.FunctionalPass(t)
+		if err != nil {
+			return DieResult{}, 0, err
+		}
+		if !ok {
+			dr.FunctionalFails++
+		}
+	}
+	if math.IsInf(worst, 0) {
+		return DieResult{}, 0, fmt.Errorf("core: die %d: no test converged", die.ID)
+	}
+	dr.WorstTrip = worst
+	dr.WCR = wcr.For(worst, spec, isMin)
+	dr.Class = wcr.Classify(dr.WCR)
+	return dr, tester.Stats().Measurements, nil
+}
+
+// ScreenLot measures every test on every die of the lot (one fresh tester
+// insertion per die, seeded deterministically from baseSeed) and reports
+// per-die worst cases. The geometry must match the one the tests were
+// generated for.
+func ScreenLot(param ate.Parameter, tests []testgen.Test, dies []*dut.Die, geom dut.Geometry, baseSeed int64) (*LotReport, error) {
+	return ScreenLotParallel(param, tests, dies, geom, baseSeed, 1)
+}
+
+// ScreenLotParallel is ScreenLot across the given number of concurrent
+// tester insertions — the multi-site testing of production floors. Each
+// die's measurements are independent (own device, own tester, seed derived
+// from the die ID), so the report is identical to the serial one, in die
+// order, regardless of the worker count.
+func ScreenLotParallel(param ate.Parameter, tests []testgen.Test, dies []*dut.Die, geom dut.Geometry, baseSeed int64, workers int) (*LotReport, error) {
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("core: lot screen needs at least one test")
+	}
+	if len(dies) == 0 {
+		return nil, fmt.Errorf("core: empty die lot")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(dies) {
+		workers = len(dies)
+	}
+
+	type outcome struct {
+		dr   DieResult
+		cost int64
+		err  error
+	}
+	results := make([]outcome, len(dies))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, die := range dies {
+		wg.Add(1)
+		go func(i int, die *dut.Die) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dr, cost, err := screenDie(param, tests, die, geom, baseSeed+int64(die.ID))
+			results[i] = outcome{dr: dr, cost: cost, err: err}
+		}(i, die)
+	}
+	wg.Wait()
+
+	_, isMin := param.SpecValue()
+	worseThan := func(a, b float64) bool {
+		if isMin {
+			return a < b
+		}
+		return a > b
+	}
+	rep := &LotReport{
+		Parameter:      param,
+		Tests:          len(tests),
+		ClassCounts:    make(map[wcr.Class]int),
+		PerCornerWorst: make(map[dut.Corner]float64),
+	}
+	var sumWorst float64
+	minWorst, maxWorst := math.Inf(1), math.Inf(-1)
+	first := true
+	for i, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		dr := res.dr
+		rep.Dies = append(rep.Dies, dr)
+		rep.ClassCounts[dr.Class]++
+		rep.Measurements += res.cost
+
+		sumWorst += dr.WorstTrip
+		minWorst = math.Min(minWorst, dr.WorstTrip)
+		maxWorst = math.Max(maxWorst, dr.WorstTrip)
+		corner := dies[i].Corner
+		if cur, ok := rep.PerCornerWorst[corner]; !ok || worseThan(dr.WorstTrip, cur) {
+			rep.PerCornerWorst[corner] = dr.WorstTrip
+		}
+		if first || dr.WCR > rep.WorstDie.WCR {
+			rep.WorstDie = dr
+			first = false
+		}
+	}
+	rep.MeanWorstTrip = sumWorst / float64(len(dies))
+	rep.SpreadLot = maxWorst - minWorst
+	return rep, nil
+}
+
+// Format renders a lot summary.
+func (r *LotReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lot screen: %d dies × %d tests, parameter %s\n", len(r.Dies), r.Tests, r.Parameter)
+	fmt.Fprintf(&b, "per-die worst trip: mean %.3f %s, lot spread %.3f %s\n",
+		r.MeanWorstTrip, r.Parameter.Unit(), r.SpreadLot, r.Parameter.Unit())
+	fmt.Fprintf(&b, "classes: pass %d, weakness %d, fail %d\n",
+		r.ClassCounts[wcr.Pass], r.ClassCounts[wcr.Weakness], r.ClassCounts[wcr.Fail])
+	for _, corner := range []dut.Corner{dut.CornerFast, dut.CornerTypical, dut.CornerSlow} {
+		if v, ok := r.PerCornerWorst[corner]; ok {
+			fmt.Fprintf(&b, "worst at %s corner: %.3f %s\n", corner, v, r.Parameter.Unit())
+		}
+	}
+	fmt.Fprintf(&b, "worst die: #%d (%s) WCR %.3f (%s) via %s\n",
+		r.WorstDie.DieID, r.WorstDie.Corner, r.WorstDie.WCR, r.WorstDie.Class, r.WorstDie.WorstTest)
+	fmt.Fprintf(&b, "cost: %d measurements\n", r.Measurements)
+	return b.String()
+}

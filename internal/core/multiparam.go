@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ate"
+)
+
+// Multi-parameter characterization. §5: "we propose to pre-select a set of
+// DC or AC critical parameters; and generate NNs individually for each
+// parameter or each characterization analysis task." MultiCharacterize
+// runs one full flow (learning + optimization) per parameter on the same
+// tester insertion and merges the per-parameter worst cases into one
+// report, "covering all considered fitness variables" (§6).
+
+// ParameterOutcome is one parameter's flow result.
+type ParameterOutcome struct {
+	Parameter ate.Parameter
+	Worst     Entry
+	Database  *Database
+	// Learning quality and cost.
+	EnsembleMSE  float64
+	Measurements int64
+	// Diagnosis is the fuzzy rule-base explanation of the worst test.
+	Diagnosis Explanation
+}
+
+// MultiReport aggregates all characterized parameters.
+type MultiReport struct {
+	Outcomes []ParameterOutcome
+}
+
+// WorstOverall returns the outcome with the largest WCR across parameters.
+func (m *MultiReport) WorstOverall() (ParameterOutcome, bool) {
+	if len(m.Outcomes) == 0 {
+		return ParameterOutcome{}, false
+	}
+	best := m.Outcomes[0]
+	for _, o := range m.Outcomes[1:] {
+		if o.Worst.WCR > best.Worst.WCR {
+			best = o
+		}
+	}
+	return best, true
+}
+
+// Format renders the merged report.
+func (m *MultiReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-parameter worst-case characterization (%d parameters)\n", len(m.Outcomes))
+	fmt.Fprintf(&b, "%-8s %10s %8s %-9s %-11s %13s\n", "param", "worst", "WCR", "class", "test", "measurements")
+	for _, o := range m.Outcomes {
+		fmt.Fprintf(&b, "%-8s %7.3f %s %8.3f %-9s %-11s %13d\n",
+			o.Parameter, o.Worst.Value, o.Parameter.Unit(), o.Worst.WCR, o.Worst.Class,
+			o.Worst.Test.Name, o.Measurements)
+	}
+	if w, ok := m.WorstOverall(); ok {
+		fmt.Fprintf(&b, "dominant weakness: %s (WCR %.3f, %s)\n", w.Parameter, w.Worst.WCR, w.Worst.Class)
+		fmt.Fprintf(&b, "diagnosis: %s\n", w.Diagnosis)
+	}
+	return b.String()
+}
+
+// MultiCharacterize runs the full CI flow once per parameter. The base
+// configuration's Parameter field is overridden per run; seeds derive from
+// the base seed so parameters get independent randomness. Flows share the
+// tester (and therefore its cost counters and thermal state), matching a
+// single characterization insertion.
+func MultiCharacterize(base Config, tester *ate.ATE, params []ate.Parameter) (*MultiReport, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("core: no parameters selected")
+	}
+	diag, err := NewDiagnosis()
+	if err != nil {
+		return nil, err
+	}
+	rep := &MultiReport{}
+	for i, p := range params {
+		cfg := base
+		cfg.Parameter = p
+		cfg.Seed = base.Seed + int64(i)*1009
+		char, err := NewCharacterizer(cfg, tester)
+		if err != nil {
+			return nil, fmt.Errorf("core: parameter %s: %w", p, err)
+		}
+		before := tester.Stats().Measurements
+		learned, err := char.Learn()
+		if err != nil {
+			return nil, fmt.Errorf("core: learning %s: %w", p, err)
+		}
+		opt, err := char.Optimize()
+		if err != nil {
+			return nil, fmt.Errorf("core: optimizing %s: %w", p, err)
+		}
+		worst, ok := opt.Database.Worst()
+		if !ok {
+			return nil, fmt.Errorf("core: parameter %s produced no worst case", p)
+		}
+		expl, err := diag.ExplainTest(worst.Test, char.Generator().Limits())
+		if err != nil {
+			return nil, err
+		}
+		rep.Outcomes = append(rep.Outcomes, ParameterOutcome{
+			Parameter:    p,
+			Worst:        worst,
+			Database:     opt.Database,
+			EnsembleMSE:  learned.EnsembleValErr,
+			Measurements: tester.Stats().Measurements - before,
+			Diagnosis:    expl,
+		})
+	}
+	return rep, nil
+}
+
+// FunctionalScreen replays every database test once with functional
+// checking and moves failing tests to the database's functional list,
+// implementing §6's "functional failure patterns (if any) are stored
+// separately". It returns the number of functional failures found.
+func FunctionalScreen(tester *ate.ATE, db *Database) (int, error) {
+	if db == nil {
+		return 0, fmt.Errorf("core: nil database")
+	}
+	kept := db.Entries[:0]
+	fails := 0
+	for _, e := range db.Entries {
+		ok, err := tester.FunctionalPass(e.Test)
+		if err != nil {
+			return fails, err
+		}
+		if ok {
+			kept = append(kept, e)
+			continue
+		}
+		fails++
+		db.AddFunctionalFailure(e.Test)
+	}
+	db.Entries = kept
+	db.Sort()
+	return fails, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/genetic"
+	"repro/internal/search"
+	"repro/internal/testgen"
+	"repro/internal/wcr"
+)
+
+// ateEvaluator measures GA fitness the way fig. 5 prescribes: "GA fitness =
+// TPV measurement via ATE using equation (2), (3) and (4)". A stateful SUTP
+// searcher keeps the reference trip point across individuals so every
+// fitness evaluation costs only a handful of measurements; the trip point
+// maps to fitness through the Worst Case Ratio (eqs. 5/6), so maximizing
+// fitness hunts the worst case.
+type ateEvaluator struct {
+	c    *Characterizer
+	sutp *search.SUTP
+	opts search.Options
+
+	spec      float64
+	specIsMin bool
+
+	evaluations int
+}
+
+func (e *ateEvaluator) Fitness(t testgen.Test) (float64, error) {
+	res, err := e.sutp.Search(e.c.ate.Measurer(e.c.cfg.Parameter, t), e.opts)
+	if err != nil {
+		return 0, err
+	}
+	e.evaluations++
+	// Non-converged searches still carry information: an all-fail range
+	// means the trip point is beyond the pass-side end (catastrophically
+	// bad, large WCR via the endpoint value); an all-pass range means huge
+	// margin (small WCR).
+	return wcr.For(res.TripPoint, e.spec, e.specIsMin), nil
+}
+
+// OptimizationResult is the outcome of the fig. 5 scheme.
+type OptimizationResult struct {
+	GA *genetic.Result
+	// Database holds the worst-case tests banked across GA eras, ranked
+	// worst first.
+	Database *Database
+	// Measurements is the total number of ATE measurements the GA spent.
+	Measurements int64
+}
+
+// Optimize executes the optimization scheme of fig. 5: seed the GA with the
+// fuzzy-neural generator's sub-optimal candidates, evolve sequences and
+// conditions with real ATE fitness, restart stagnating populations, and
+// store every era's best in the worst-case test database.
+func (c *Characterizer) Optimize() (*OptimizationResult, error) {
+	cands, err := c.ProposeSeeds()
+	if err != nil {
+		return nil, err
+	}
+	return c.OptimizeFrom(SeedsForGA(cands))
+}
+
+// OptimizeFrom runs the GA from explicit seeds (the ablation benchmarks
+// pass random seeds here to quantify the value of NN seeding).
+func (c *Characterizer) OptimizeFrom(seeds []genetic.Seed) (*OptimizationResult, error) {
+	gaCfg := c.cfg.GA
+	if gaCfg.PopSize == 0 {
+		gaCfg = genetic.DefaultConfig()
+	}
+	gaCfg.FixedConditions = c.cfg.FixedConditions
+
+	spec, isMin := c.cfg.Parameter.SpecValue()
+	eval := &ateEvaluator{
+		c:         c,
+		sutp:      c.newSUTP(),
+		opts:      c.searchOptions(),
+		spec:      spec,
+		specIsMin: isMin,
+	}
+
+	ops := genetic.NewOperators(c.cfg.Seed+1, c.gen)
+	opt, err := genetic.NewOptimizer(gaCfg, ops, eval)
+	if err != nil {
+		return nil, err
+	}
+	before := c.ate.Stats().Measurements
+	gaRes, err := opt.Run(seeds)
+	if err != nil {
+		return nil, fmt.Errorf("core: GA optimization: %w", err)
+	}
+
+	db := NewDatabase(c.cfg.Parameter)
+	for _, ind := range gaRes.EraBests {
+		t := ind.Test()
+		db.Add(Entry{
+			Test:  t,
+			WCR:   ind.Fitness,
+			Class: wcr.Classify(ind.Fitness),
+			Value: valueFromWCR(ind.Fitness, spec, isMin),
+		})
+	}
+	if gaRes.Best != nil {
+		t := gaRes.Best.Test()
+		db.Add(Entry{
+			Test:  t,
+			WCR:   gaRes.Best.Fitness,
+			Class: wcr.Classify(gaRes.Best.Fitness),
+			Value: valueFromWCR(gaRes.Best.Fitness, spec, isMin),
+		})
+	}
+	db.Sort()
+
+	return &OptimizationResult{
+		GA:           gaRes,
+		Database:     db,
+		Measurements: c.ate.Stats().Measurements - before,
+	}, nil
+}
+
+// valueFromWCR inverts eqs. 5/6 to recover the measured parameter value
+// from the stored fitness.
+func valueFromWCR(w, spec float64, specIsMin bool) float64 {
+	if w == 0 {
+		return 0
+	}
+	if specIsMin {
+		return spec / w
+	}
+	return w * spec
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ate"
+	"repro/internal/testgen"
+)
+
+// Repair-and-retest: the loop that consumes the functional failures the
+// worst-case database stores separately (§6). For every failing test the
+// device's failure addresses are localized from the execution profile, the
+// affected rows are remapped to spares, and the test is replayed until it
+// passes or the spare budget runs out.
+
+// RepairOutcome records one test's repair loop.
+type RepairOutcome struct {
+	TestName     string
+	FailedBefore bool
+	RowsRepaired int
+	PassesAfter  bool
+	// Exhausted reports that spares ran out before the test passed.
+	Exhausted bool
+}
+
+// RepairReport aggregates a repair session.
+type RepairReport struct {
+	Outcomes     []RepairOutcome
+	TotalRepairs int
+	AllPass      bool
+}
+
+// Format renders the session.
+func (r *RepairReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Repair session: %d tests, %d rows repaired, all pass: %v\n",
+		len(r.Outcomes), r.TotalRepairs, r.AllPass)
+	for _, o := range r.Outcomes {
+		status := "clean"
+		switch {
+		case o.Exhausted:
+			status = "spares exhausted"
+		case o.FailedBefore && o.PassesAfter:
+			status = fmt.Sprintf("repaired (%d rows)", o.RowsRepaired)
+		case o.FailedBefore:
+			status = "still failing"
+		}
+		fmt.Fprintf(&b, "  %-14s %s\n", o.TestName, status)
+	}
+	return b.String()
+}
+
+// maxRepairRounds bounds the per-test localize/repair/retest loop; each
+// round repairs every currently failing row, so more rounds than rows per
+// pattern would indicate a livelock.
+const maxRepairRounds = 8
+
+// RepairAndRetest runs the repair loop for every test on the tester's
+// device. Repairs are permanent (they persist on the device); the tester's
+// pattern cache is reloaded after each repair so retests re-execute.
+func RepairAndRetest(tester *ate.ATE, tests []testgen.Test) (*RepairReport, error) {
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("core: no tests to repair against")
+	}
+	rep := &RepairReport{AllPass: true}
+	dev := tester.Device()
+	for _, t := range tests {
+		out := RepairOutcome{TestName: t.Name}
+		for round := 0; ; round++ {
+			tester.Reload()
+			p, err := tester.Profile(t)
+			if err != nil {
+				return nil, fmt.Errorf("core: repairing %s: %w", t.Name, err)
+			}
+			if !p.Func.Failed() {
+				out.PassesAfter = true
+				break
+			}
+			out.FailedBefore = true
+			if round >= maxRepairRounds {
+				return nil, fmt.Errorf("core: %s still failing after %d repair rounds", t.Name, round)
+			}
+			repairedThisRound := 0
+			for _, addr := range p.Func.FailingAddrs {
+				// RepairRow fails when the row is already repaired
+				// (several failing columns share it) or the bank's spares
+				// are exhausted; either way skip — an all-skip round is
+				// detected below as exhaustion.
+				if err := dev.RepairRow(addr); err != nil {
+					continue
+				}
+				repairedThisRound++
+				out.RowsRepaired++
+				rep.TotalRepairs++
+			}
+			if repairedThisRound == 0 {
+				out.Exhausted = true
+				break
+			}
+		}
+		if !out.PassesAfter {
+			rep.AllPass = false
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+	}
+	tester.Reload()
+	return rep, nil
+}

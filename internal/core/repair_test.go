@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ate"
+	"repro/internal/dut"
+	"repro/internal/testgen"
+)
+
+// hotTestTouching builds a high-activity test that also reads the given
+// addresses, so weak cells there are provoked and observed.
+func hotTestTouching(addrs ...uint32) testgen.Test {
+	words := dut.DefaultGeometry().Words()
+	seq := make(testgen.Sequence, 0, 700)
+	for i := 0; i < 150; i++ {
+		base := uint32(4) // keep clear of the probed addresses' rows
+		if i%2 == 1 {
+			base = words - 2
+		}
+		seq = append(seq,
+			testgen.Vector{Op: testgen.OpWrite, Addr: base, Data: 0},
+			testgen.Vector{Op: testgen.OpWrite, Addr: base + 1, Data: 0xFFFFFFFF},
+		)
+	}
+	for _, a := range addrs {
+		seq = append(seq,
+			testgen.Vector{Op: testgen.OpWrite, Addr: a, Data: 0x12345678},
+			testgen.Vector{Op: testgen.OpRead, Addr: a},
+		)
+	}
+	return testgen.Test{Name: "HOT", Seq: seq, Cond: testgen.NominalConditions()}
+}
+
+func TestRepairAndRetestFixesDevice(t *testing.T) {
+	// Weak cells in two different rows of bank 0.
+	die := dut.NewDie(0, dut.CornerTypical,
+		dut.WithWeakCell(33, 1.85), // row 2
+		dut.WithWeakCell(65, 1.85), // row 4
+	)
+	dev, err := dut.NewDevice(dut.DefaultGeometry(), die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester := ate.New(dev, 5)
+
+	rep, err := RepairAndRetest(tester, []testgen.Test{hotTestTouching(33, 65)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPass {
+		t.Fatalf("device not repaired: %s", rep.Format())
+	}
+	if rep.TotalRepairs != 2 {
+		t.Errorf("repaired %d rows, want 2", rep.TotalRepairs)
+	}
+	out := rep.Outcomes[0]
+	if !out.FailedBefore || !out.PassesAfter {
+		t.Errorf("outcome: %+v", out)
+	}
+
+	// The repair is visible on subsequent direct measurements too.
+	ok, err := tester.FunctionalPass(hotTestTouching(33, 65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("device still fails after the repair session")
+	}
+}
+
+func TestRepairAndRetestCleanDevice(t *testing.T) {
+	tester := newTester(t, 7)
+	rep, err := RepairAndRetest(tester, []testgen.Test{hotTestTouching(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPass || rep.TotalRepairs != 0 {
+		t.Errorf("clean device triggered repairs: %s", rep.Format())
+	}
+	if rep.Outcomes[0].FailedBefore {
+		t.Error("clean device reported as failing")
+	}
+}
+
+func TestRepairAndRetestExhaustsSpares(t *testing.T) {
+	// More failing rows in one bank than spares: the session must report
+	// exhaustion rather than loop forever.
+	geomCols := dut.DefaultGeometry().Cols
+	opts := []dut.DieOption{}
+	addrs := []uint32{}
+	for r := 0; r < dut.SpareRowsPerBank+2; r++ {
+		a := uint32(r * geomCols)
+		opts = append(opts, dut.WithWeakCell(a, 1.85))
+		addrs = append(addrs, a)
+	}
+	die := dut.NewDie(0, dut.CornerTypical, opts...)
+	dev, err := dut.NewDevice(dut.DefaultGeometry(), die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester := ate.New(dev, 9)
+
+	rep, err := RepairAndRetest(tester, []testgen.Test{hotTestTouching(addrs...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllPass {
+		t.Fatal("session claims success with more defects than spares")
+	}
+	out := rep.Outcomes[0]
+	if !out.Exhausted {
+		t.Errorf("exhaustion not reported: %+v", out)
+	}
+	if out.RowsRepaired != dut.SpareRowsPerBank {
+		t.Errorf("repaired %d rows, want the full spare budget %d", out.RowsRepaired, dut.SpareRowsPerBank)
+	}
+	s := rep.Format()
+	if !strings.Contains(s, "spares exhausted") {
+		t.Errorf("report missing exhaustion: %s", s)
+	}
+}
+
+func TestRepairAndRetestValidation(t *testing.T) {
+	tester := newTester(t, 1)
+	if _, err := RepairAndRetest(tester, nil); err == nil {
+		t.Error("empty test list accepted")
+	}
+}

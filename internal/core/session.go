@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ate"
+	"repro/internal/wcr"
+)
+
+// Session orchestration: the one-call form of the complete paper flow plus
+// the analysis steps a characterization engineer runs afterwards. RunSession
+// wires Learn → Optimize → diagnosis → (optional) functional screen and
+// minimization into a single report.
+
+// SessionConfig extends the flow configuration with the post-processing
+// switches.
+type SessionConfig struct {
+	Flow Config
+	// Minimize reduces the worst test to its provoking core after the GA.
+	Minimize bool
+	// FunctionalScreen replays database tests and separates functional
+	// failures (§6) before reporting.
+	FunctionalScreen bool
+	// WeightFilePath, when set, persists the trained ensemble.
+	WeightFilePath string
+	// DatabasePath, when set, persists the worst-case database.
+	DatabasePath string
+}
+
+// SessionResult is everything one characterization session produced.
+type SessionResult struct {
+	Learning     *LearningResult
+	Optimization *OptimizationResult
+	Worst        Entry
+	Diagnosis    Explanation
+	// Minimized is non-nil when SessionConfig.Minimize was set.
+	Minimized *MinimizeResult
+	// FunctionalFails counts database tests moved to the functional list.
+	FunctionalFails int
+	Stats           ate.Stats
+}
+
+// Format renders the session summary.
+func (r *SessionResult) Format() string {
+	var b strings.Builder
+	ls := r.Learning.DSV.Stats()
+	fmt.Fprintf(&b, "Characterization session\n")
+	fmt.Fprintf(&b, "learning: %d tests, trip points %.3f–%.3f (spread %.3f), ensemble MSE %.5f\n",
+		ls.N, ls.Min, ls.Max, ls.Range, r.Learning.EnsembleValErr)
+	fmt.Fprintf(&b, "optimization: %d generations, %d evaluations, %d restarts\n",
+		r.Optimization.GA.Generations, r.Optimization.GA.Evaluations, r.Optimization.GA.Restarts)
+	fmt.Fprintf(&b, "worst case: %s  WCR %.3f (%s), value %.3f\n",
+		r.Worst.Test.Name, r.Worst.WCR, r.Worst.Class, r.Worst.Value)
+	fmt.Fprintf(&b, "diagnosis: %s\n", r.Diagnosis)
+	if r.Minimized != nil {
+		fmt.Fprintf(&b, "minimized: %d → %d vectors (%.1f×)\n",
+			len(r.Minimized.Original.Seq), len(r.Minimized.Minimized.Seq), r.Minimized.ReductionFactor())
+	}
+	if r.FunctionalFails > 0 {
+		fmt.Fprintf(&b, "functional failures stored separately: %d\n", r.FunctionalFails)
+	}
+	fmt.Fprintf(&b, "cost: %d measurements, %.2f s simulated tester time\n",
+		r.Stats.Measurements, r.Stats.TestTimeSec)
+	return b.String()
+}
+
+// RunSession executes the complete session on the tester.
+func RunSession(cfg SessionConfig, tester *ate.ATE) (*SessionResult, error) {
+	char, err := NewCharacterizer(cfg.Flow, tester)
+	if err != nil {
+		return nil, err
+	}
+	res := &SessionResult{}
+
+	if res.Learning, err = char.Learn(); err != nil {
+		return nil, err
+	}
+	if cfg.WeightFilePath != "" {
+		if err := char.SaveWeights(cfg.WeightFilePath); err != nil {
+			return nil, err
+		}
+	}
+
+	if res.Optimization, err = char.Optimize(); err != nil {
+		return nil, err
+	}
+	worst, ok := res.Optimization.Database.Worst()
+	if !ok {
+		return nil, fmt.Errorf("core: session produced no worst case")
+	}
+	res.Worst = worst
+
+	diag, err := NewDiagnosis()
+	if err != nil {
+		return nil, err
+	}
+	if res.Diagnosis, err = diag.ExplainTest(worst.Test, char.Generator().Limits()); err != nil {
+		return nil, err
+	}
+
+	if cfg.FunctionalScreen {
+		fails, err := FunctionalScreen(tester, res.Optimization.Database)
+		if err != nil {
+			return nil, err
+		}
+		res.FunctionalFails = fails
+		// The worst entry may have moved to the functional list; re-read.
+		if w, ok := res.Optimization.Database.Worst(); ok {
+			res.Worst = w
+		}
+	}
+
+	if cfg.Minimize {
+		min, err := char.Minimize(res.Worst.Test, DefaultMinimizeConfig())
+		if err != nil {
+			return nil, err
+		}
+		res.Minimized = min
+	}
+
+	if cfg.DatabasePath != "" {
+		if err := res.Optimization.Database.SaveFile(cfg.DatabasePath); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Stats = tester.Stats()
+	return res, nil
+}
+
+// Classify is a small convenience for session consumers: the fig. 6 band
+// of the session's worst case.
+func (r *SessionResult) Classify() wcr.Class { return r.Worst.Class }

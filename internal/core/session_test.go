@@ -1,0 +1,90 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/wcr"
+)
+
+func TestRunSessionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full session")
+	}
+	dir := t.TempDir()
+	cfg := SessionConfig{
+		Flow:             quickConfig(101),
+		Minimize:         true,
+		FunctionalScreen: true,
+		WeightFilePath:   filepath.Join(dir, "w.json"),
+		DatabasePath:     filepath.Join(dir, "db.json"),
+	}
+	tester := newTester(t, 101)
+	res, err := RunSession(cfg, tester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Learning == nil || res.Optimization == nil {
+		t.Fatal("phases missing")
+	}
+	if res.Worst.Test.Name == "" {
+		t.Error("no worst case")
+	}
+	if res.Minimized == nil {
+		t.Error("minimization skipped")
+	}
+	if res.Stats.Measurements == 0 {
+		t.Error("no cost accounting")
+	}
+	if res.Classify() != res.Worst.Class {
+		t.Error("Classify accessor inconsistent")
+	}
+	for _, f := range []string{cfg.WeightFilePath, cfg.DatabasePath} {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("artifact %s not written: %v", f, err)
+		}
+	}
+	s := res.Format()
+	for _, want := range []string{"Characterization session", "worst case", "diagnosis:", "minimized:", "cost:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("session report missing %q", want)
+		}
+	}
+	// Persisted database round-trips.
+	db, err := LoadDatabaseFile(cfg.DatabasePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 {
+		t.Error("persisted database empty")
+	}
+}
+
+func TestRunSessionWorstAtLeastWeakness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full session")
+	}
+	// At the default (full) scale the session must find at least a
+	// weakness-class worst case on the typical die.
+	cfg := SessionConfig{Flow: DefaultConfig(103)}
+	nominal := quickConfig(103).FixedConditions
+	cfg.Flow.FixedConditions = nominal
+	tester := newTester(t, 103)
+	res, err := RunSession(cfg, tester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classify() == wcr.Pass {
+		t.Errorf("session worst case classified pass (WCR %.3f)", res.Worst.WCR)
+	}
+}
+
+func TestRunSessionInvalidConfig(t *testing.T) {
+	bad := SessionConfig{Flow: quickConfig(1)}
+	bad.Flow.SeedCount = 0
+	if _, err := RunSession(bad, newTester(t, 1)); err == nil {
+		t.Error("invalid flow config accepted")
+	}
+}

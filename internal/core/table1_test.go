@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wcr"
+)
+
+// quickTable1Config shrinks the comparison for unit testing while keeping
+// every phase meaningful.
+func quickTable1Config(seed int64) Table1Config {
+	cfg := DefaultTable1Config(seed)
+	cfg.Flow = quickConfig(seed)
+	cfg.RandomTests = 250
+	return cfg
+}
+
+// TestTable1ReproducesPaperShape is the headline integration test: the full
+// flow must reproduce the qualitative result of the paper's Table 1 —
+// WCR(March) < WCR(Random) < WCR(NNGA), with the NN+GA test landing in the
+// weakness band (the paper measured 0.619 / 0.701 / 0.904).
+func TestTable1ReproducesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full characterization flow")
+	}
+	// Full-scale configuration: the shape claim needs the real GA budget.
+	tab, err := RunTable1(DefaultTable1Config(71), newTester(t, 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	march, random, nnga := tab.Rows[0], tab.Rows[1], tab.Rows[2]
+
+	if march.Technique != "Deterministic" || random.Technique != "Random" || nnga.Technique != "Neural & Genetic" {
+		t.Fatalf("row techniques wrong: %+v", tab.Rows)
+	}
+	if !(march.WCR < random.WCR && random.WCR < nnga.WCR) {
+		t.Errorf("WCR ordering broken: March %.3f, Random %.3f, NNGA %.3f",
+			march.WCR, random.WCR, nnga.WCR)
+	}
+	// T_DQ values must order inversely (smaller window = worse).
+	if !(march.Value > random.Value && random.Value > nnga.Value) {
+		t.Errorf("T_DQ ordering broken: %.1f, %.1f, %.1f",
+			march.Value, random.Value, nnga.Value)
+	}
+	// Band checks, paper-calibrated: March and Random pass, NNGA reaches
+	// the weakness band without violating the spec on the typical die.
+	if march.Class != wcr.Pass {
+		t.Errorf("March class %v, want pass", march.Class)
+	}
+	if random.Class != wcr.Pass {
+		t.Errorf("Random class %v, want pass", random.Class)
+	}
+	if nnga.Class != wcr.Weakness {
+		t.Errorf("NNGA class %v (WCR %.3f), want weakness", nnga.Class, nnga.WCR)
+	}
+	// The gap must be decisive, as in the paper (0.904 vs 0.701): the CI
+	// flow finds drift that random testing missed.
+	if nnga.WCR-random.WCR < 0.05 {
+		t.Errorf("NNGA WCR %.3f not decisively above random %.3f", nnga.WCR, random.WCR)
+	}
+}
+
+func TestTable1Format(t *testing.T) {
+	tab := &Table1{
+		Parameter: quickConfig(1).Parameter,
+		VddV:      1.8,
+		Rows: []Table1Row{
+			{TestName: "March Test", Technique: "Deterministic", WCR: 0.619, Value: 32.3, Class: wcr.Pass, Measurements: 40},
+			{TestName: "NNGA Test", Technique: "Neural & Genetic", WCR: 0.904, Value: 22.1, Class: wcr.Weakness, Measurements: 5000},
+		},
+	}
+	s := tab.Format()
+	for _, want := range []string{"Table 1", "Vdd 1.8V", "March Test", "0.619", "32.3", "weakness", "T_DQ (ns)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable1ConfigValidation(t *testing.T) {
+	cfg := quickTable1Config(1)
+	cfg.RandomTests = 0
+	if _, err := RunTable1(cfg, newTester(t, 1)); err == nil {
+		t.Error("zero random tests accepted")
+	}
+}
+
+func TestTable1DefaultsFixedConditions(t *testing.T) {
+	// Even when the flow config forgets the fixed conditions, Table 1 pins
+	// them to nominal (the table is specified at Vdd 1.8 V).
+	cfg := quickTable1Config(73)
+	cfg.Flow.FixedConditions = nil
+	cfg.RandomTests = 20
+	cfg.Flow.GA.MaxGenerations = 2
+	tab, err := RunTable1(cfg, newTester(t, 73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.VddV != 1.8 {
+		t.Errorf("table Vdd %g, want 1.8", tab.VddV)
+	}
+}

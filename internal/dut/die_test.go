@@ -1,0 +1,81 @@
+package dut
+
+import "testing"
+
+func TestCornerString(t *testing.T) {
+	cases := map[Corner]string{
+		CornerTypical: "TT",
+		CornerFast:    "FF",
+		CornerSlow:    "SS",
+		Corner(9):     "corner?",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Corner(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestCornerOrdering(t *testing.T) {
+	fast := NewDie(0, CornerFast)
+	typ := NewDie(1, CornerTypical)
+	slow := NewDie(2, CornerSlow)
+	if !(fast.TDQOffsetNS() > typ.TDQOffsetNS() && typ.TDQOffsetNS() > slow.TDQOffsetNS()) {
+		t.Errorf("T_DQ offsets not ordered FF > TT > SS: %g, %g, %g",
+			fast.TDQOffsetNS(), typ.TDQOffsetNS(), slow.TDQOffsetNS())
+	}
+	if !(fast.SpeedFactor() < typ.SpeedFactor() && typ.SpeedFactor() < slow.SpeedFactor()) {
+		t.Errorf("speed factors not ordered FF < TT < SS")
+	}
+	if fast.LeakageFactor() <= typ.LeakageFactor() {
+		t.Error("fast corner should leak more than typical")
+	}
+}
+
+func TestWeakCellInjection(t *testing.T) {
+	d := NewDie(0, CornerTypical, WithWeakCell(42, 1.6), WithWeakCell(100, 1.5))
+	if d.WeakCellCount() != 2 {
+		t.Fatalf("weak cell count %d, want 2", d.WeakCellCount())
+	}
+	th, ok := d.WeakCellThreshold(42)
+	if !ok || th != 1.6 {
+		t.Errorf("weak cell 42 threshold = %g, %v", th, ok)
+	}
+	if _, ok := d.WeakCellThreshold(43); ok {
+		t.Error("address 43 reported as weak")
+	}
+}
+
+func TestDieLotDeterministicAndSpread(t *testing.T) {
+	lotA := NewDieLot(5, 50)
+	lotB := NewDieLot(5, 50)
+	if len(lotA) != 50 {
+		t.Fatalf("lot size %d", len(lotA))
+	}
+	for i := range lotA {
+		if lotA[i].Corner != lotB[i].Corner || lotA[i].TDQOffsetNS() != lotB[i].TDQOffsetNS() {
+			t.Fatalf("same-seed lots diverge at die %d", i)
+		}
+	}
+	corners := make(map[Corner]int)
+	offsets := make(map[float64]bool)
+	for _, d := range lotA {
+		corners[d.Corner]++
+		offsets[d.TDQOffsetNS()] = true
+	}
+	if corners[CornerTypical] == 0 || corners[CornerFast] == 0 || corners[CornerSlow] == 0 {
+		t.Errorf("lot missing a corner: %v", corners)
+	}
+	if len(offsets) < 40 {
+		t.Errorf("within-corner spread too quantized: only %d distinct offsets", len(offsets))
+	}
+}
+
+func TestDieLotIDs(t *testing.T) {
+	lot := NewDieLot(1, 10)
+	for i, d := range lot {
+		if d.ID != i {
+			t.Errorf("die %d has ID %d", i, d.ID)
+		}
+	}
+}

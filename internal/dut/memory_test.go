@@ -1,0 +1,271 @@
+package dut
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/testgen"
+)
+
+func testMemory(t *testing.T) *Memory {
+	t.Helper()
+	m, err := NewMemory(DefaultGeometry(), NewDie(0, CornerTypical))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGeometryWordsAndBits(t *testing.T) {
+	g := DefaultGeometry()
+	if g.Words() != 4096 {
+		t.Errorf("default geometry words = %d, want 4096", g.Words())
+	}
+	if g.AddrBits() != 12 {
+		t.Errorf("default geometry addr bits = %d, want 12", g.AddrBits())
+	}
+}
+
+func TestGeometryDecode(t *testing.T) {
+	g := Geometry{Banks: 4, Rows: 64, Cols: 16}
+	bank, row, col := g.Decode(0)
+	if bank != 0 || row != 0 || col != 0 {
+		t.Errorf("Decode(0) = %d,%d,%d", bank, row, col)
+	}
+	// Address 16 is the start of row 1 (cols are lowest bits).
+	bank, row, col = g.Decode(16)
+	if bank != 0 || row != 1 || col != 0 {
+		t.Errorf("Decode(16) = %d,%d,%d, want bank 0 row 1 col 0", bank, row, col)
+	}
+	// One full bank is 64*16 = 1024 words.
+	bank, row, col = g.Decode(1024)
+	if bank != 1 || row != 0 || col != 0 {
+		t.Errorf("Decode(1024) = %d,%d,%d, want bank 1", bank, row, col)
+	}
+}
+
+func TestGeometryDecodeProperty(t *testing.T) {
+	g := DefaultGeometry()
+	f := func(a uint32) bool {
+		addr := a % g.Words()
+		bank, row, col := g.Decode(addr)
+		recon := uint32(bank*g.Rows*g.Cols + row*g.Cols + col)
+		return recon == addr &&
+			bank >= 0 && bank < g.Banks &&
+			row >= 0 && row < g.Rows &&
+			col >= 0 && col < g.Cols
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := (Geometry{Banks: 0, Rows: 1, Cols: 1}).Validate(); err == nil {
+		t.Error("zero-bank geometry accepted")
+	}
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Errorf("default geometry rejected: %v", err)
+	}
+}
+
+func TestNewMemoryErrors(t *testing.T) {
+	if _, err := NewMemory(Geometry{}, NewDie(0, CornerTypical)); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	if _, err := NewMemory(DefaultGeometry(), nil); err == nil {
+		t.Error("nil die accepted")
+	}
+}
+
+func TestMemoryReadAfterWrite(t *testing.T) {
+	m := testMemory(t)
+	seq := testgen.Sequence{
+		{Op: testgen.OpWrite, Addr: 7, Data: 0xCAFEBABE},
+		{Op: testgen.OpRead, Addr: 7},
+	}
+	_, fr := m.Execute(seq, 1.8)
+	if fr.Failed() {
+		t.Error("clean read-after-write reported functional failure")
+	}
+	if got := m.Peek(7); got != 0xCAFEBABE {
+		t.Errorf("stored word = %08X", got)
+	}
+}
+
+func TestMemoryResetClears(t *testing.T) {
+	m := testMemory(t)
+	m.Poke(5, 123)
+	m.Reset()
+	if m.Peek(5) != 0 {
+		t.Error("Reset did not clear contents")
+	}
+}
+
+func TestActivityEmptySequence(t *testing.T) {
+	m := testMemory(t)
+	act, fr := m.Execute(nil, 1.8)
+	if act.Cycles != 0 {
+		t.Errorf("empty sequence cycles = %d", act.Cycles)
+	}
+	if fr.Failed() {
+		t.Error("empty sequence failed")
+	}
+}
+
+func TestActivityRangesProperty(t *testing.T) {
+	m := testMemory(t)
+	gen := testgen.NewRandomGenerator(31, m.Geometry().Words(), testgen.DefaultConditionLimits())
+	for i := 0; i < 50; i++ {
+		m.Reset()
+		act, _ := m.Execute(gen.Next().Seq, 1.8)
+		check := func(name string, v float64) {
+			if v < 0 || v > 1 {
+				t.Fatalf("test %d: %s = %g outside [0,1]", i, name, v)
+			}
+		}
+		check("ATDMean", act.ATDMean)
+		check("ATDPeak", act.ATDPeak)
+		check("ToggleMean", act.ToggleMean)
+		check("TogglePeak", act.TogglePeak)
+		check("SSNMean", act.SSNMean)
+		check("SSNPeak", act.SSNPeak)
+		check("SSNSustained", act.SSNSustained)
+		check("CouplingScore", act.CouplingScore)
+		check("ReadRatio", act.ReadRatio)
+		check("RowHammer", act.RowHammer)
+		if act.ATDPeak < act.ATDMean-1e-9 {
+			t.Fatalf("test %d: ATD peak %g below mean %g", i, act.ATDPeak, act.ATDMean)
+		}
+		if act.SSNPeak < act.SSNSustained-1e-9 {
+			t.Fatalf("test %d: 8-cycle SSN peak %g below 64-cycle sustained %g", i, act.SSNPeak, act.SSNSustained)
+		}
+	}
+}
+
+func TestIdleSequenceHasNoActivity(t *testing.T) {
+	m := testMemory(t)
+	seq := make(testgen.Sequence, 100) // all NOPs
+	act, _ := m.Execute(seq, 1.8)
+	if act.ATDMean != 0 || act.ToggleMean != 0 || act.SSNPeak != 0 {
+		t.Errorf("idle bus has activity: %+v", act)
+	}
+}
+
+func TestPingPongMaximizesATD(t *testing.T) {
+	m := testMemory(t)
+	words := m.Geometry().Words()
+	seq := make(testgen.Sequence, 200)
+	for i := range seq {
+		addr := uint32(0)
+		if i%2 == 1 {
+			addr = words - 1 // all address bits flip
+		}
+		seq[i] = testgen.Vector{Op: testgen.OpRead, Addr: addr}
+	}
+	act, _ := m.Execute(seq, 1.8)
+	if act.ATDMean < 0.99 {
+		t.Errorf("complementary ping-pong ATD mean = %g, want ≈1", act.ATDMean)
+	}
+}
+
+func TestCouplingScoreDetectsAdjacentComplementaryWrites(t *testing.T) {
+	m := testMemory(t)
+	seq := make(testgen.Sequence, 200)
+	for i := range seq {
+		d := uint32(0)
+		if i%2 == 1 {
+			d = 0xFFFFFFFF
+		}
+		seq[i] = testgen.Vector{Op: testgen.OpWrite, Addr: uint32(i % 2), Data: d}
+	}
+	act, _ := m.Execute(seq, 1.8)
+	if act.CouplingScore < 0.99 {
+		t.Errorf("adjacent complementary writes coupling = %g, want ≈1", act.CouplingScore)
+	}
+
+	// The same data written to the same single address must not couple.
+	for i := range seq {
+		seq[i].Addr = 0
+	}
+	m.Reset()
+	act, _ = m.Execute(seq, 1.8)
+	if act.CouplingScore != 0 {
+		t.Errorf("same-address writes coupling = %g, want 0", act.CouplingScore)
+	}
+}
+
+func TestBankConflictDetection(t *testing.T) {
+	m := testMemory(t)
+	g := m.Geometry()
+	// Alternate between row 0 and row 1 of bank 0: every access conflicts.
+	seq := make(testgen.Sequence, 100)
+	for i := range seq {
+		addr := uint32(0)
+		if i%2 == 1 {
+			addr = uint32(g.Cols) // row 1, same bank
+		}
+		seq[i] = testgen.Vector{Op: testgen.OpRead, Addr: addr}
+	}
+	act, _ := m.Execute(seq, 1.8)
+	if act.BankConflictRate < 0.9 {
+		t.Errorf("same-bank row ping-pong conflict rate = %g, want ≈1", act.BankConflictRate)
+	}
+
+	// Alternate between two banks, same row: no conflicts.
+	for i := range seq {
+		addr := uint32(0)
+		if i%2 == 1 {
+			addr = uint32(g.Rows * g.Cols) // bank 1, row 0
+		}
+		seq[i].Addr = addr
+	}
+	m.Reset()
+	act, _ = m.Execute(seq, 1.8)
+	if act.BankConflictRate != 0 {
+		t.Errorf("alternating-bank conflict rate = %g, want 0", act.BankConflictRate)
+	}
+}
+
+func TestWeakCellCorruptsOnlyBelowThreshold(t *testing.T) {
+	die := NewDie(0, CornerTypical, WithWeakCell(9, 1.6))
+	m, err := NewMemory(DefaultGeometry(), die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := testgen.Sequence{
+		{Op: testgen.OpWrite, Addr: 9, Data: 0x12345678},
+		{Op: testgen.OpRead, Addr: 9},
+	}
+	_, fr := m.Execute(seq, 1.8)
+	if fr.Failed() {
+		t.Error("weak cell corrupted above its threshold")
+	}
+	m.Reset()
+	_, fr = m.Execute(seq, 1.5)
+	if !fr.Failed() {
+		t.Fatal("weak cell did not corrupt below its threshold")
+	}
+	if fr.Mismatches != 1 || fr.FirstMismatch != 1 {
+		t.Errorf("mismatch accounting: %+v", fr)
+	}
+	if len(fr.FailingAddrs) != 1 || fr.FailingAddrs[0] != 9 {
+		t.Errorf("failing addrs = %v", fr.FailingAddrs)
+	}
+}
+
+func TestAddressesWrapModuloWords(t *testing.T) {
+	m := testMemory(t)
+	words := m.Geometry().Words()
+	seq := testgen.Sequence{
+		{Op: testgen.OpWrite, Addr: words + 3, Data: 0xAB},
+		{Op: testgen.OpRead, Addr: 3},
+	}
+	_, fr := m.Execute(seq, 1.8)
+	if fr.Failed() {
+		t.Error("wrapped write failed")
+	}
+	if m.Peek(3) != 0xAB {
+		t.Error("address did not wrap modulo array size")
+	}
+}

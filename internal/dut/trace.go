@@ -1,0 +1,72 @@
+package dut
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/testgen"
+)
+
+// Trace executes the test once and returns the full per-cycle record —
+// the artifact handed to transistor-level simulation when a worst-case
+// test goes to detailed analysis (§6: "we further analyze the potential
+// design weaknesses ... using a transistor-level simulator and/or ATE").
+// The trace is taken at the droop-corrected effective supply, matching
+// Profile's functional semantics.
+func (d *Device) Trace(t testgen.Test) ([]CycleRecord, Profile, error) {
+	p, err := d.Profile(t)
+	if err != nil {
+		return nil, Profile{}, err
+	}
+	vddEff := p.EffectiveVdd()
+	d.mem.Reset()
+	records := make([]CycleRecord, 0, len(t.Seq))
+	d.mem.ExecuteObserved(t.Seq, vddEff, func(r CycleRecord) {
+		records = append(records, r)
+	})
+	return records, p, nil
+}
+
+// WriteTraceCSV renders a trace as CSV with a header row, one line per
+// cycle — directly loadable by waveform and spreadsheet tools.
+func WriteTraceCSV(w io.Writer, records []CycleRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "cycle,op,addr,bank,row,col,bus,atd,toggle,ssn,corrupted"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		corrupted := 0
+		if r.Corrupted {
+			corrupted = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d,%d,%.4f,%.4f,%.4f,%d\n",
+			r.Cycle, r.Op, r.Addr, r.Bank, r.Row, r.Col, r.Bus,
+			r.ATD, r.Toggle, r.SSN, corrupted); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// HotWindow returns the [start, end) cycle range with the highest mean SSN
+// over windows of the given length — where the supply stress concentrates,
+// the first place a failure analyst looks. ok is false when the trace is
+// shorter than the window.
+func HotWindow(records []CycleRecord, window int) (start, end int, meanSSN float64, ok bool) {
+	if window <= 0 || len(records) < window {
+		return 0, 0, 0, false
+	}
+	var sum float64
+	for i := 0; i < window; i++ {
+		sum += records[i].SSN
+	}
+	best, bestAt := sum, 0
+	for i := window; i < len(records); i++ {
+		sum += records[i].SSN - records[i-window].SSN
+		if sum > best {
+			best, bestAt = sum, i-window+1
+		}
+	}
+	return bestAt, bestAt + window, best / float64(window), true
+}

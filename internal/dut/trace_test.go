@@ -1,0 +1,157 @@
+package dut
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/testgen"
+)
+
+func TestTraceMatchesSequence(t *testing.T) {
+	dev := testDevice(t)
+	tt := marchTest(t, testgen.NominalConditions())
+	records, p, err := dev.Trace(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(tt.Seq) {
+		t.Fatalf("trace has %d records for %d vectors", len(records), len(tt.Seq))
+	}
+	for i, r := range records {
+		if r.Cycle != i {
+			t.Fatalf("record %d has cycle %d", i, r.Cycle)
+		}
+		if r.Op != tt.Seq[i].Op {
+			t.Fatalf("record %d op %v, vector op %v", i, r.Op, tt.Seq[i].Op)
+		}
+		if r.ATD < 0 || r.ATD > 1 || r.Toggle < 0 || r.Toggle > 1 {
+			t.Fatalf("record %d densities out of range: %+v", i, r)
+		}
+		if r.SSN != r.ATD*r.Toggle {
+			t.Fatalf("record %d SSN %g != ATD·Toggle %g", i, r.SSN, r.ATD*r.Toggle)
+		}
+	}
+	// Mean of per-cycle ATD must equal the profile's aggregate.
+	var sum float64
+	for _, r := range records {
+		sum += r.ATD
+	}
+	if got, want := sum/float64(len(records)), p.Act.ATDMean; absf(got-want) > 1e-9 {
+		t.Errorf("trace ATD mean %g, profile %g", got, want)
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestTraceMarksCorruptedCycles(t *testing.T) {
+	die := NewDie(0, CornerTypical, WithWeakCell(5, 2.5)) // corrupts always
+	dev, err := NewDevice(DefaultGeometry(), die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := testgen.Test{
+		Name: "weakread",
+		Seq: testgen.Sequence{
+			{Op: testgen.OpWrite, Addr: 5, Data: 1},
+			{Op: testgen.OpRead, Addr: 5},
+			{Op: testgen.OpRead, Addr: 6},
+			{Op: testgen.OpRead, Addr: 5},
+		},
+		Cond: testgen.NominalConditions(),
+	}
+	records, _, err := dev.Trace(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !records[1].Corrupted || !records[3].Corrupted {
+		t.Error("corrupted reads not marked")
+	}
+	if records[0].Corrupted || records[2].Corrupted {
+		t.Error("clean cycles marked corrupted")
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	dev := testDevice(t)
+	tt := testgen.Test{
+		Name: "csv",
+		Seq: testgen.Sequence{
+			{Op: testgen.OpWrite, Addr: 1, Data: 0xFF},
+			{Op: testgen.OpRead, Addr: 1},
+		},
+		Cond: testgen.NominalConditions(),
+	}
+	records, _, err := dev.Trace(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "cycle,op,addr") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,W,1,") {
+		t.Errorf("first record: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ",R,1,") {
+		t.Errorf("second record: %q", lines[2])
+	}
+}
+
+func TestHotWindowFindsStressRegion(t *testing.T) {
+	dev := testDevice(t)
+	words := dev.Geometry().Words()
+	// Calm prefix, hot middle, calm suffix.
+	seq := make(testgen.Sequence, 0, 300)
+	for i := 0; i < 100; i++ {
+		seq = append(seq, testgen.Vector{Op: testgen.OpRead, Addr: 0})
+	}
+	for i := 0; i < 100; i++ {
+		addr, data := uint32(0), uint32(0)
+		if i%2 == 1 {
+			addr, data = words-1, 0xFFFFFFFF
+		}
+		seq = append(seq, testgen.Vector{Op: testgen.OpWrite, Addr: addr, Data: data})
+	}
+	for i := 0; i < 100; i++ {
+		seq = append(seq, testgen.Vector{Op: testgen.OpRead, Addr: 0})
+	}
+	records, _, err := dev.Trace(testgen.Test{Name: "hotmid", Seq: seq, Cond: testgen.NominalConditions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end, mean, ok := HotWindow(records, 32)
+	if !ok {
+		t.Fatal("no hot window found")
+	}
+	if start < 90 || end > 210 {
+		t.Errorf("hot window [%d, %d) outside the stress region [100, 200)", start, end)
+	}
+	if mean <= 0.3 {
+		t.Errorf("hot window mean SSN %g too low", mean)
+	}
+}
+
+func TestHotWindowShortTrace(t *testing.T) {
+	if _, _, _, ok := HotWindow(nil, 8); ok {
+		t.Error("empty trace has a hot window")
+	}
+	if _, _, _, ok := HotWindow(make([]CycleRecord, 4), 8); ok {
+		t.Error("short trace has a hot window")
+	}
+	if _, _, _, ok := HotWindow(make([]CycleRecord, 4), 0); ok {
+		t.Error("zero window accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package genetic
+
+import (
+	"testing"
+
+	"repro/internal/testgen"
+)
+
+func TestCrossoverSeqLengthsAndValidity(t *testing.T) {
+	ops := newOps(1)
+	gen := testgen.NewRandomGenerator(2, 4096, testgen.DefaultConditionLimits())
+	a, b := gen.Sequence(300), gen.Sequence(700)
+	for i := 0; i < 50; i++ {
+		c1, c2 := ops.CrossoverSeq(a, b)
+		for _, c := range []testgen.Sequence{c1, c2} {
+			if len(c) < testgen.MinSequenceLen || len(c) > testgen.MaxSequenceLen {
+				t.Fatalf("offspring length %d outside bounds", len(c))
+			}
+			if err := c.Validate(4096); err != nil {
+				t.Fatalf("offspring invalid: %v", err)
+			}
+		}
+	}
+}
+
+func TestCrossoverSeqMixesParents(t *testing.T) {
+	ops := newOps(3)
+	a := make(testgen.Sequence, 200)
+	b := make(testgen.Sequence, 200)
+	for i := range a {
+		a[i] = testgen.Vector{Op: testgen.OpRead, Addr: 1}
+		b[i] = testgen.Vector{Op: testgen.OpRead, Addr: 2}
+	}
+	sawMix := false
+	for i := 0; i < 20 && !sawMix; i++ {
+		c1, _ := ops.CrossoverSeq(a, b)
+		has1, has2 := false, false
+		for _, v := range c1 {
+			if v.Addr == 1 {
+				has1 = true
+			}
+			if v.Addr == 2 {
+				has2 = true
+			}
+		}
+		sawMix = has1 && has2
+	}
+	if !sawMix {
+		t.Error("crossover never mixed material from both parents")
+	}
+}
+
+func TestCrossoverSeqEmptyParents(t *testing.T) {
+	ops := newOps(5)
+	var empty testgen.Sequence
+	c1, c2 := ops.CrossoverSeq(empty, empty)
+	if len(c1) != 0 || len(c2) != 0 {
+		t.Error("empty parents produced offspring")
+	}
+}
+
+func TestMutateSeqKeepsBoundsAndValidity(t *testing.T) {
+	ops := newOps(7)
+	gen := testgen.NewRandomGenerator(8, 4096, testgen.DefaultConditionLimits())
+	s := gen.Sequence(150)
+	for i := 0; i < 50; i++ {
+		m := ops.MutateSeq(s)
+		if len(m) < testgen.MinSequenceLen || len(m) > testgen.MaxSequenceLen {
+			t.Fatalf("mutant length %d", len(m))
+		}
+		if err := m.Validate(4096); err != nil {
+			t.Fatalf("mutant invalid: %v", err)
+		}
+	}
+}
+
+func TestMutateSeqChangesSomething(t *testing.T) {
+	ops := newOps(9)
+	ops.SeqMutationRate = 0.2
+	gen := testgen.NewRandomGenerator(10, 4096, testgen.DefaultConditionLimits())
+	s := gen.Sequence(300)
+	m := ops.MutateSeq(s)
+	diff := 0
+	for i := range m {
+		if i < len(s) && m[i] != s[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("mutation changed nothing at 20% rate")
+	}
+}
+
+func TestCrossoverCondWithinLimits(t *testing.T) {
+	ops := newOps(11)
+	limits := testgen.DefaultConditionLimits()
+	a := testgen.Conditions{VddV: limits.VddMin, TempC: limits.TempMin, ClockMHz: limits.ClockMin}
+	b := testgen.Conditions{VddV: limits.VddMax, TempC: limits.TempMax, ClockMHz: limits.ClockMax}
+	for i := 0; i < 100; i++ {
+		c := ops.CrossoverCond(a, b)
+		if !limits.Contains(c) {
+			t.Fatalf("blend escaped limits: %+v", c)
+		}
+	}
+}
+
+func TestMutateCondWithinLimits(t *testing.T) {
+	ops := newOps(13)
+	limits := testgen.DefaultConditionLimits()
+	c := testgen.NominalConditions()
+	changed := false
+	for i := 0; i < 100; i++ {
+		m := ops.MutateCond(c)
+		if !limits.Contains(m) {
+			t.Fatalf("mutant escaped limits: %+v", m)
+		}
+		if m != c {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("condition mutation is a no-op")
+	}
+}
+
+func TestRandomIndividual(t *testing.T) {
+	ops := newOps(15)
+	seq, cond := ops.RandomIndividual(nil)
+	if len(seq) < testgen.MinSequenceLen || len(seq) > testgen.MaxSequenceLen {
+		t.Errorf("random individual length %d", len(seq))
+	}
+	if !testgen.DefaultConditionLimits().Contains(cond) {
+		t.Errorf("random conditions %+v outside limits", cond)
+	}
+	fixed := testgen.NominalConditions()
+	_, cond = ops.RandomIndividual(&fixed)
+	if cond != fixed {
+		t.Error("fixed conditions ignored")
+	}
+}
+
+func TestTournamentPicksFitter(t *testing.T) {
+	ops := newOps(17)
+	weak := &Individual{Fitness: 0.1, Evaluated: true}
+	strong := &Individual{Fitness: 0.9, Evaluated: true}
+	pop := []*Individual{weak, strong}
+	strongWins := 0
+	for i := 0; i < 200; i++ {
+		if ops.Tournament(pop, 2) == strong {
+			strongWins++
+		}
+	}
+	// With k=2 over two individuals, the strong one wins whenever it is
+	// drawn at least once: P = 3/4.
+	if strongWins < 120 {
+		t.Errorf("tournament selected the stronger individual only %d/200 times", strongWins)
+	}
+}

@@ -1,0 +1,127 @@
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ensemble is the paper's NN voting machine (§5, learning step 1):
+// "multiple NNs are trained on different subsets of the training input
+// tests, then vote in parallel on unknown input tests." Prediction is the
+// member average; the confidence in a classification "is determined by
+// averaging the mean error for each network" — realized here as the member
+// disagreement (consistency check).
+type Ensemble struct {
+	members []*Network
+}
+
+// NewEnsemble trains n member networks on independent bootstrap resamples
+// of the dataset. Layer sizes apply to every member; seeds derive from the
+// base seed so runs are reproducible.
+func NewEnsemble(seed int64, n int, sizes []int, data Dataset, cfg TrainConfig) (*Ensemble, []TrainReport, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("neural: ensemble size %d must be positive", n)
+	}
+	e := &Ensemble{}
+	reports := make([]TrainReport, 0, n)
+	for i := 0; i < n; i++ {
+		memberSeed := seed + int64(i)*7919
+		net, err := New(memberSeed, sizes...)
+		if err != nil {
+			return nil, nil, err
+		}
+		sub := data.Bootstrap(memberSeed)
+		train, val := sub.Split(memberSeed, 0.85)
+		memberCfg := cfg
+		memberCfg.Seed = memberSeed
+		rep, err := net.Train(train, val, memberCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("neural: training ensemble member %d: %w", i, err)
+		}
+		e.members = append(e.members, net)
+		reports = append(reports, rep)
+	}
+	return e, reports, nil
+}
+
+// FromNetworks wraps already-trained networks into an ensemble (weight-file
+// loading path).
+func FromNetworks(members []*Network) (*Ensemble, error) {
+	if len(members) == 0 {
+		return nil, errors.New("neural: ensemble needs at least one member")
+	}
+	in, out := members[0].Inputs(), members[0].Outputs()
+	for i, m := range members[1:] {
+		if m.Inputs() != in || m.Outputs() != out {
+			return nil, fmt.Errorf("neural: member %d shape (%d→%d) differs from member 0 (%d→%d)",
+				i+1, m.Inputs(), m.Outputs(), in, out)
+		}
+	}
+	return &Ensemble{members: members}, nil
+}
+
+// Size returns the number of member networks.
+func (e *Ensemble) Size() int { return len(e.members) }
+
+// Members returns the member networks (shared, not copied).
+func (e *Ensemble) Members() []*Network { return e.members }
+
+// Inputs returns the ensemble input width.
+func (e *Ensemble) Inputs() int { return e.members[0].Inputs() }
+
+// Outputs returns the ensemble output width.
+func (e *Ensemble) Outputs() int { return e.members[0].Outputs() }
+
+// Vote runs every member on the input and returns the averaged prediction
+// together with the confidence: 1/(1+meanDisagreement), where the
+// disagreement is the mean RMS spread of member outputs around the average.
+// Unanimous members give confidence → 1.
+func (e *Ensemble) Vote(input []float64) (avg []float64, confidence float64, err error) {
+	preds := make([][]float64, len(e.members))
+	for i, m := range e.members {
+		p, err := m.Predict(input)
+		if err != nil {
+			return nil, 0, err
+		}
+		preds[i] = p
+	}
+	avg = make([]float64, e.Outputs())
+	for _, p := range preds {
+		for j, v := range p {
+			avg[j] += v
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(len(preds))
+	}
+	var spread float64
+	for _, p := range preds {
+		spread += math.Sqrt(MSE(p, avg))
+	}
+	spread /= float64(len(preds))
+	return avg, 1 / (1 + spread*10), nil
+}
+
+// Predict returns only the averaged prediction.
+func (e *Ensemble) Predict(input []float64) ([]float64, error) {
+	avg, _, err := e.Vote(input)
+	return avg, err
+}
+
+// Evaluate returns the mean MSE of the averaged prediction over a dataset
+// (the ensemble generalization check).
+func (e *Ensemble) Evaluate(d Dataset) (float64, error) {
+	if len(d) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for _, smp := range d {
+		p, err := e.Predict(smp.Input)
+		if err != nil {
+			return 0, err
+		}
+		s += MSE(p, smp.Target)
+	}
+	return s / float64(len(d)), nil
+}

@@ -1,0 +1,211 @@
+package neural
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Genetic training of network weights, after the paper's reference [13]
+// (van Rooij, Jain & Johnson, "Neural Network Training Using Genetic
+// Algorithms"): the weight vector is the chromosome, fitness is the
+// negative training error, and a small real-valued GA with elitism, blend
+// crossover and gaussian mutation evolves the population. Backpropagation
+// is the flow's default trainer; genetic training is the derivative-free
+// alternative the paper's toolbox includes, and the ablation benchmarks
+// compare the two.
+
+// GATrainConfig configures genetic weight training.
+type GATrainConfig struct {
+	PopSize     int     // population size (default 40)
+	Generations int     // generation cap (default 150)
+	Elite       int     // unchanged survivors per generation (default 2)
+	TournamentK int     // selection tournament size (default 3)
+	MutSigma    float64 // gaussian mutation sigma (default 0.1)
+	MutRate     float64 // per-gene mutation probability (default 0.1)
+	BlendAlpha  float64 // BLX-α crossover margin (default 0.3)
+	Seed        int64
+	// TargetErr stops evolution early once the best training MSE falls
+	// below it (0 disables).
+	TargetErr float64
+}
+
+// DefaultGATrainConfig returns tuned defaults.
+func DefaultGATrainConfig(seed int64) GATrainConfig {
+	return GATrainConfig{
+		PopSize:     40,
+		Generations: 150,
+		Elite:       2,
+		TournamentK: 3,
+		MutSigma:    0.1,
+		MutRate:     0.1,
+		BlendAlpha:  0.3,
+		Seed:        seed,
+	}
+}
+
+// flatten serializes all weights and biases into one chromosome.
+func (n *Network) flatten() []float64 {
+	var out []float64
+	for _, l := range n.layers {
+		out = append(out, l.w...)
+		out = append(out, l.b...)
+	}
+	return out
+}
+
+// unflatten installs a chromosome into the network.
+func (n *Network) unflatten(genes []float64) {
+	i := 0
+	for li := range n.layers {
+		l := &n.layers[li]
+		copy(l.w, genes[i:i+len(l.w)])
+		i += len(l.w)
+		copy(l.b, genes[i:i+len(l.b)])
+		i += len(l.b)
+	}
+}
+
+// TrainGA evolves the network's weights on the training set and leaves the
+// network at the chromosome with the best validation error (training error
+// when val is empty). The report mirrors Train's.
+func (n *Network) TrainGA(train, val Dataset, cfg GATrainConfig) (TrainReport, error) {
+	if err := train.Validate(n.Inputs(), n.Outputs()); err != nil {
+		return TrainReport{}, err
+	}
+	if len(val) > 0 {
+		if err := val.Validate(n.Inputs(), n.Outputs()); err != nil {
+			return TrainReport{}, err
+		}
+	}
+	if cfg.PopSize < 4 {
+		cfg.PopSize = 40
+	}
+	if cfg.Generations < 1 {
+		cfg.Generations = 150
+	}
+	if cfg.Elite < 0 || cfg.Elite >= cfg.PopSize {
+		cfg.Elite = 2
+	}
+	if cfg.TournamentK < 1 {
+		cfg.TournamentK = 3
+	}
+	if cfg.MutSigma <= 0 {
+		cfg.MutSigma = 0.1
+	}
+	if cfg.MutRate <= 0 {
+		cfg.MutRate = 0.1
+	}
+	if cfg.BlendAlpha < 0 {
+		cfg.BlendAlpha = 0.3
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	genes := len(n.flatten())
+
+	type indiv struct {
+		genes []float64
+		err   float64
+	}
+	evalGenes := func(g []float64) float64 {
+		n.unflatten(g)
+		return n.Evaluate(train)
+	}
+
+	// Initial population: the current weights plus randomized variants.
+	pop := make([]indiv, cfg.PopSize)
+	base := n.flatten()
+	pop[0] = indiv{genes: append([]float64(nil), base...)}
+	for i := 1; i < cfg.PopSize; i++ {
+		g := make([]float64, genes)
+		for j := range g {
+			g[j] = base[j] + rng.NormFloat64()*0.5
+		}
+		pop[i] = indiv{genes: g}
+	}
+	for i := range pop {
+		pop[i].err = evalGenes(pop[i].genes)
+	}
+
+	var rep TrainReport
+	bestVal := inf()
+	bestGenes := append([]float64(nil), pop[0].genes...)
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].err < pop[b].err })
+		rep.Epochs = gen + 1
+		rep.TrainErr = pop[0].err
+		rep.ErrCurve = append(rep.ErrCurve, pop[0].err)
+
+		// Validation of the generation best.
+		valErr := pop[0].err
+		if len(val) > 0 {
+			n.unflatten(pop[0].genes)
+			valErr = n.Evaluate(val)
+		}
+		rep.ValErrCurve = append(rep.ValErrCurve, valErr)
+		rep.ValErr = valErr
+		if valErr < bestVal {
+			bestVal = valErr
+			copy(bestGenes, pop[0].genes)
+		}
+
+		if cfg.TargetErr > 0 && pop[0].err <= cfg.TargetErr {
+			break
+		}
+
+		tournament := func() indiv {
+			best := pop[rng.Intn(len(pop))]
+			for i := 1; i < cfg.TournamentK; i++ {
+				c := pop[rng.Intn(len(pop))]
+				if c.err < best.err {
+					best = c
+				}
+			}
+			return best
+		}
+
+		next := make([]indiv, 0, cfg.PopSize)
+		for e := 0; e < cfg.Elite; e++ {
+			next = append(next, pop[e])
+		}
+		for len(next) < cfg.PopSize {
+			p1, p2 := tournament(), tournament()
+			child := make([]float64, genes)
+			for j := range child {
+				lo, hi := p1.genes[j], p2.genes[j]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				span := hi - lo
+				lo -= cfg.BlendAlpha * span
+				hi += cfg.BlendAlpha * span
+				child[j] = lo + rng.Float64()*(hi-lo)
+				if rng.Float64() < cfg.MutRate {
+					child[j] += rng.NormFloat64() * cfg.MutSigma
+				}
+			}
+			next = append(next, indiv{genes: child, err: evalGenes(child)})
+		}
+		pop = next
+	}
+
+	n.unflatten(bestGenes)
+	rep.TrainErr = n.Evaluate(train)
+	if len(val) > 0 {
+		rep.ValErr = n.Evaluate(val)
+	} else {
+		rep.ValErr = rep.TrainErr
+	}
+	rep.BestValErr = bestVal
+	return rep, nil
+}
+
+// ChromosomeLen reports the GA chromosome length of the network (weights +
+// biases), for sizing expectations in tests and docs.
+func (n *Network) ChromosomeLen() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}

@@ -1,0 +1,80 @@
+package neural
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Permutation feature importance: how much the ensemble's error grows when
+// one input feature is shuffled across the dataset. It answers the
+// question the flow's fuzzy diagnosis answers by construction — *which*
+// activity terms drive the severity — but for the learned black box, so
+// the two can be cross-checked.
+
+// FeatureImportance is one input's contribution.
+type FeatureImportance struct {
+	Feature int
+	// DeltaMSE is the mean-squared-error increase caused by shuffling the
+	// feature (≤ 0 means the feature carries no usable signal).
+	DeltaMSE float64
+}
+
+// PermutationImportance computes the importance of every input feature of
+// the ensemble over the dataset, shuffling each feature column `rounds`
+// times (default 3) and averaging. Results are sorted most important
+// first. The dataset is not modified.
+func PermutationImportance(e *Ensemble, data Dataset, seed int64, rounds int) ([]FeatureImportance, error) {
+	if e == nil || len(data) == 0 {
+		return nil, fmt.Errorf("neural: importance needs an ensemble and data")
+	}
+	if err := data.Validate(e.Inputs(), e.Outputs()); err != nil {
+		return nil, err
+	}
+	if rounds < 1 {
+		rounds = 3
+	}
+	base, err := e.Evaluate(data)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	// Working copy with cloned input slices so shuffling is local.
+	work := make(Dataset, len(data))
+	for i, s := range data {
+		work[i] = Sample{
+			Input:  append([]float64(nil), s.Input...),
+			Target: s.Target,
+		}
+	}
+
+	out := make([]FeatureImportance, e.Inputs())
+	perm := make([]int, len(work))
+	for f := 0; f < e.Inputs(); f++ {
+		var delta float64
+		for r := 0; r < rounds; r++ {
+			copy(perm, rng.Perm(len(work)))
+			// Shuffle column f.
+			orig := make([]float64, len(work))
+			for i := range work {
+				orig[i] = work[i].Input[f]
+			}
+			for i := range work {
+				work[i].Input[f] = orig[perm[i]]
+			}
+			mse, err := e.Evaluate(work)
+			if err != nil {
+				return nil, err
+			}
+			delta += mse - base
+			// Restore.
+			for i := range work {
+				work[i].Input[f] = orig[i]
+			}
+		}
+		out[f] = FeatureImportance{Feature: f, DeltaMSE: delta / float64(rounds)}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].DeltaMSE > out[b].DeltaMSE })
+	return out, nil
+}

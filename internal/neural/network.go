@@ -1,0 +1,186 @@
+// Package neural implements the feedforward networks of the paper's
+// learning scheme (fig. 4): multilayer perceptrons trained with
+// backpropagation, an iterative learnability/generalization check in the
+// training loop, the multi-network voting machine the paper uses to judge
+// classification confidence, and the weight-file serialization that carries
+// the learned characterization knowledge into the optimization phase.
+package neural
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation uint8
+
+const (
+	// ActTanh is the hyperbolic tangent, the conventional hidden-layer
+	// activation of 1990s MLP practice (Masters [14]).
+	ActTanh Activation = iota
+	// ActSigmoid is the logistic function, used on output layers whose
+	// targets are membership grades in [0, 1].
+	ActSigmoid
+	// ActLinear is the identity.
+	ActLinear
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case ActTanh:
+		return "tanh"
+	case ActSigmoid:
+		return "sigmoid"
+	case ActLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Activation(%d)", uint8(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ActTanh:
+		return math.Tanh(x)
+	case ActSigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns dσ/dx expressed in terms of the activation output
+// y = σ(x), which backprop has at hand.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ActTanh:
+		return 1 - y*y
+	case ActSigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// layer is one dense layer: out = act(W·in + b).
+type layer struct {
+	in, out int
+	act     Activation
+	// w is row-major [out][in]; b is [out].
+	w []float64
+	b []float64
+}
+
+// Network is a feedforward multilayer perceptron. Construct with New; the
+// zero value is not usable. Not safe for concurrent training; Predict is
+// safe for concurrent use only if no training runs concurrently.
+type Network struct {
+	sizes  []int
+	layers []layer
+}
+
+// New builds an MLP with the given layer sizes (inputs first, outputs
+// last), tanh hidden layers and a sigmoid output layer, initialized with
+// Xavier/Glorot uniform weights drawn from the seeded source.
+func New(seed int64, sizes ...int) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("neural: need at least input and output sizes, got %v", sizes)
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("neural: layer %d has non-positive size %d", i, s)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{sizes: append([]int(nil), sizes...)}
+	for i := 1; i < len(sizes); i++ {
+		act := ActTanh
+		if i == len(sizes)-1 {
+			act = ActSigmoid
+		}
+		l := layer{
+			in:  sizes[i-1],
+			out: sizes[i],
+			act: act,
+			w:   make([]float64, sizes[i]*sizes[i-1]),
+			b:   make([]float64, sizes[i]),
+		}
+		// Xavier uniform: U(−√(6/(in+out)), +√(6/(in+out))).
+		limit := math.Sqrt(6 / float64(l.in+l.out))
+		for j := range l.w {
+			l.w[j] = (rng.Float64()*2 - 1) * limit
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n, nil
+}
+
+// Inputs returns the input-layer width.
+func (n *Network) Inputs() int { return n.sizes[0] }
+
+// Outputs returns the output-layer width.
+func (n *Network) Outputs() int { return n.sizes[len(n.sizes)-1] }
+
+// Sizes returns a copy of the layer sizes.
+func (n *Network) Sizes() []int { return append([]int(nil), n.sizes...) }
+
+// forward runs the network and returns the activation of every layer
+// (index 0 is the input itself), for backprop.
+func (n *Network) forward(input []float64) [][]float64 {
+	acts := make([][]float64, len(n.layers)+1)
+	acts[0] = input
+	cur := input
+	for li, l := range n.layers {
+		next := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, x := range cur {
+				sum += row[i] * x
+			}
+			next[o] = l.act.apply(sum)
+		}
+		acts[li+1] = next
+		cur = next
+	}
+	return acts
+}
+
+// Predict runs the network on one input vector.
+func (n *Network) Predict(input []float64) ([]float64, error) {
+	if len(input) != n.Inputs() {
+		return nil, fmt.Errorf("neural: input width %d, network expects %d", len(input), n.Inputs())
+	}
+	acts := n.forward(input)
+	out := acts[len(acts)-1]
+	return append([]float64(nil), out...), nil
+}
+
+// MSE returns the mean squared error between two equal-length vectors.
+func MSE(got, want []float64) float64 {
+	if len(got) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range got {
+		d := got[i] - want[i]
+		s += d * d
+	}
+	return s / float64(len(got))
+}
+
+// Clone returns an independent deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := &Network{sizes: append([]int(nil), n.sizes...)}
+	c.layers = make([]layer, len(n.layers))
+	for i, l := range n.layers {
+		c.layers[i] = layer{
+			in: l.in, out: l.out, act: l.act,
+			w: append([]float64(nil), l.w...),
+			b: append([]float64(nil), l.b...),
+		}
+	}
+	return c
+}

@@ -1,0 +1,45 @@
+package pdn_test
+
+import (
+	"fmt"
+
+	"repro/internal/dut"
+	"repro/internal/pdn"
+)
+
+// ExampleNetwork_Simulate integrates the power delivery network over a
+// burst pattern and reports the droop peak.
+func ExampleNetwork_Simulate() {
+	n := pdn.Default()
+	fmt.Printf("network: f0 %.1f MHz, damping ζ %.2f\n", n.ResonantHz()/1e6, n.DampingRatio())
+
+	// Single-cycle full-activity bursts every other cycle: a 2-cycle
+	// period, exactly the network's resonance at a 100 MHz bus clock.
+	records := make([]dut.CycleRecord, 400)
+	for i := range records {
+		if i%2 == 0 {
+			records[i] = dut.CycleRecord{Cycle: i, ATD: 1, Toggle: 1}
+		}
+	}
+	res, err := n.Simulate(records, 1.8, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("resonant excitation droops the rail by more than 1 V: %v\n", res.PeakDroopV > 1)
+
+	// Continuous full activity draws twice the energy but stays far from
+	// that peak — resonance, not power, digs the hole.
+	for i := range records {
+		records[i] = dut.CycleRecord{Cycle: i, ATD: 1, Toggle: 1}
+	}
+	cont, err := n.Simulate(records, 1.8, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("continuous peak is below half the resonant peak: %v\n",
+		cont.PeakDroopV < res.PeakDroopV/2)
+	// Output:
+	// network: f0 50.3 MHz, damping ζ 0.08
+	// resonant excitation droops the rail by more than 1 V: true
+	// continuous peak is below half the resonant peak: true
+}

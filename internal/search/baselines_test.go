@@ -1,0 +1,134 @@
+package search
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearStepDefaultsToResolution(t *testing.T) {
+	s := &surface{trip: 3.0, orientation: PassLow}
+	res, err := Linear{}.Search(s, Options{Lo: 0, Hi: 10, Resolution: 0.25, Orientation: PassLow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.TripPoint-3.0) > 0.25+1e-9 {
+		t.Errorf("linear default-step result %+v", res)
+	}
+}
+
+func TestLinearRejectsNegativeStep(t *testing.T) {
+	if _, err := (Linear{Step: -1}).Search(&surface{trip: 5, orientation: PassLow}, opts(PassLow)); err == nil {
+		t.Error("negative step accepted")
+	}
+}
+
+func TestLinearCostScalesWithDistance(t *testing.T) {
+	near := &surface{trip: 5, orientation: PassLow}
+	rNear, err := Linear{Step: 0.5}.Search(near, opts(PassLow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := &surface{trip: 95, orientation: PassLow}
+	rFar, err := Linear{Step: 0.5}.Search(far, opts(PassLow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFar.Measurements <= rNear.Measurements*5 {
+		t.Errorf("linear cost near=%d far=%d: expected ≈linear growth with distance",
+			rNear.Measurements, rFar.Measurements)
+	}
+}
+
+func TestLinearPassHigh(t *testing.T) {
+	s := &surface{trip: 60, orientation: PassHigh}
+	res, err := Linear{Step: 0.5}.Search(s, opts(PassHigh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.TripPoint-60) > 0.5+1e-9 {
+		t.Errorf("linear pass-high result %+v", res)
+	}
+}
+
+func TestBinaryLogarithmicCost(t *testing.T) {
+	s := &surface{trip: 61.7, orientation: PassLow}
+	res, err := Binary{}.Search(s, opts(PassLow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range 100, resolution 0.1 → ~ceil(log2(1000)) + 2 endpoint checks.
+	if res.Measurements > 14 {
+		t.Errorf("binary search took %d measurements, want ≤ 14", res.Measurements)
+	}
+}
+
+func TestBinaryBracketWithinResolution(t *testing.T) {
+	s := &surface{trip: 33.33, orientation: PassLow}
+	res, err := Binary{}.Search(s, opts(PassLow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstFail-res.LastPass > 0.1+1e-9 {
+		t.Errorf("bracket [%g, %g] wider than resolution", res.LastPass, res.FirstFail)
+	}
+}
+
+func TestSuccessiveApproximationDriftRecovery(t *testing.T) {
+	// A drifting parameter (device heating) moves the trip point downward
+	// during the search; with drift re-checking enabled the search must
+	// still land on a currently-passing value.
+	s := &surface{trip: 70, orientation: PassLow, driftPer: -0.4, driftFloor: 60}
+	sa := SuccessiveApproximation{RecheckEvery: 2}
+	res, err := sa.Search(s, opts(PassLow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("drifting search did not converge")
+	}
+	// The reported trip point must have tracked the drift downward: close
+	// to the surface's final position, not the stale starting one.
+	if res.TripPoint > s.trip+1.0 {
+		t.Errorf("reported trip %g stale: surface drifted to %g", res.TripPoint, s.trip)
+	}
+
+	// Without drift checking the plain search reports a stale value.
+	s2 := &surface{trip: 70, orientation: PassLow, driftPer: -0.4, driftFloor: 60}
+	res2, err := SuccessiveApproximation{}.Search(s2, opts(PassLow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Converged && res2.TripPoint <= s2.trip+1.0 {
+		t.Skip("plain search happened to track drift; drift-check advantage not observable at this rate")
+	}
+}
+
+func TestSuccessiveApproximationStaticMatchesBinary(t *testing.T) {
+	for _, trip := range []float64{10, 42.5, 87.3} {
+		sb := &surface{trip: trip, orientation: PassLow}
+		rb, err := Binary{}.Search(sb, opts(PassLow))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := &surface{trip: trip, orientation: PassLow}
+		rs, err := SuccessiveApproximation{}.Search(ss, opts(PassLow))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rb.TripPoint-rs.TripPoint) > 0.2 {
+			t.Errorf("trip %g: binary %g vs successive %g disagree", trip, rb.TripPoint, rs.TripPoint)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Linear{}).Name() != "linear" {
+		t.Error("linear name")
+	}
+	if (Binary{}).Name() != "binary" {
+		t.Error("binary name")
+	}
+	if (SuccessiveApproximation{}).Name() != "successive-approximation" {
+		t.Error("successive name")
+	}
+}

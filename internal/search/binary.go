@@ -1,0 +1,48 @@
+package search
+
+// Binary is the divide-by-two search of §1 (fig. 1): the delta between the
+// last known pass and last known fail is halved until the trip point is
+// bracketed to within the resolution. It first verifies both endpoints so a
+// range with no boundary is detected instead of converging falsely.
+type Binary struct{}
+
+// Name implements Searcher.
+func (Binary) Name() string { return "binary" }
+
+// Search implements Searcher.
+func (Binary) Search(m Measurer, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	c := &counting{m: m}
+
+	pass := passSide(opt)
+	fail := failSide(opt)
+
+	okPass, err := c.Passes(pass)
+	if err != nil {
+		return Result{Measurements: c.n}, err
+	}
+	if !okPass {
+		return noBoundary(opt, c.n, false), nil
+	}
+	okFail, err := c.Passes(fail)
+	if err != nil {
+		return Result{Measurements: c.n}, err
+	}
+	if okFail {
+		return noBoundary(opt, c.n, true), nil
+	}
+
+	lp, ff, err := bisect(c, pass, fail, opt.Resolution)
+	if err != nil {
+		return Result{Measurements: c.n}, err
+	}
+	return Result{
+		TripPoint:    lp,
+		Measurements: c.n,
+		Converged:    true,
+		LastPass:     lp,
+		FirstFail:    ff,
+	}, nil
+}

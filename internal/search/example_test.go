@@ -1,0 +1,44 @@
+package search_test
+
+import (
+	"fmt"
+
+	"repro/internal/search"
+)
+
+// A synthetic device that passes below 31.4 and fails above.
+func deviceAt(trip float64) search.Measurer {
+	return search.MeasurerFunc(func(v float64) (bool, error) {
+		return v <= trip, nil
+	})
+}
+
+// ExampleBinary locates one trip point with the classic divide-by-two
+// search of fig. 1.
+func ExampleBinary() {
+	opt := search.Options{Lo: 10, Hi: 45, Resolution: 0.1, Orientation: search.PassLow}
+	res, err := (search.Binary{}).Search(deviceAt(31.4), opt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trip ≈ %.1f in %d measurements\n", res.TripPoint, res.Measurements)
+	// Output: trip ≈ 31.4 in 11 measurements
+}
+
+// ExampleSUTP shows the paper's Search Until Trip Point method: the first
+// search pays for the full range, every later one rides on the reference
+// trip point (eqs. 2–4).
+func ExampleSUTP() {
+	opt := search.Options{Lo: 10, Hi: 45, Resolution: 0.1, Orientation: search.PassLow}
+	s := &search.SUTP{SF: 0.4, Refine: true}
+
+	first, _ := s.Search(deviceAt(31.4), opt)  // eq. 2: establishes RTP
+	second, _ := s.Search(deviceAt(30.9), opt) // eq. 3: a few SF-steps away
+
+	fmt.Printf("first: %d measurements, follow-up: %d measurements\n",
+		first.Measurements, second.Measurements)
+	fmt.Printf("both converged: %v %v\n", first.Converged, second.Converged)
+	// Output:
+	// first: 10 measurements, follow-up: 7 measurements
+	// both converged: true true
+}

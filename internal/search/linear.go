@@ -1,0 +1,76 @@
+package search
+
+import "fmt"
+
+// Linear is the classic linear search: start at one boundary and step
+// through a specified resolution until the state changes or the end
+// boundary is reached (§1). It is the slowest baseline — cost grows with
+// the distance from the starting boundary to the trip point divided by the
+// step — and, as the paper notes, small resolutions make it very expensive.
+type Linear struct {
+	// Step is the sweep increment. When zero, the search steps by the
+	// options' Resolution.
+	Step float64
+}
+
+// Name implements Searcher.
+func (Linear) Name() string { return "linear" }
+
+// Search implements Searcher. The sweep starts at the passing-side endpoint
+// and walks toward the failing side; the trip point is the last passing
+// value before the first failure.
+func (l Linear) Search(m Measurer, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	step := l.Step
+	if step == 0 {
+		step = opt.Resolution
+	}
+	if step <= 0 {
+		return Result{}, fmt.Errorf("search: linear step %g must be positive", step)
+	}
+
+	c := &counting{m: m}
+	start := passSide(opt)
+	dir := 1.0
+	if opt.Orientation == PassHigh {
+		dir = -1.0
+	}
+
+	prev := start
+	seenPass := false
+	for v := start; ; v += dir * step {
+		// Clamp the final probe to the range end.
+		if opt.Orientation == PassLow && v > opt.Hi {
+			v = opt.Hi
+		}
+		if opt.Orientation == PassHigh && v < opt.Lo {
+			v = opt.Lo
+		}
+		ok, err := c.Passes(v)
+		if err != nil {
+			return Result{Measurements: c.n}, err
+		}
+		if !ok {
+			if !seenPass {
+				// Even the pass-side endpoint fails: no boundary here.
+				return noBoundary(opt, c.n, false), nil
+			}
+			return Result{
+				TripPoint:    prev,
+				Measurements: c.n,
+				Converged:    true,
+				LastPass:     prev,
+				FirstFail:    v,
+			}, nil
+		}
+		seenPass = true
+		prev = v
+		if (opt.Orientation == PassLow && v >= opt.Hi) ||
+			(opt.Orientation == PassHigh && v <= opt.Lo) {
+			// Swept the whole range without a failure.
+			return noBoundary(opt, c.n, true), nil
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package search implements the closed-loop trip-point search algorithms of
+// the paper: the classic ATE methods — linear search, binary search and
+// successive approximation (§1) — and the paper's contribution, the Search
+// Until Trip Point algorithm (§4, eqs. 2–4) that reuses a reference trip
+// point to avoid re-searching the full characterization range for every
+// test of a multiple-trip-point run.
+//
+// A search talks to the device through the Measurer interface: one Passes
+// call is one ATE measurement (a full apply-pattern/strobe/compare cycle),
+// so Result.Measurements is the cost metric the paper's speed-up claims are
+// about.
+package search
+
+import "fmt"
+
+// Orientation tells the search on which side of the trip point the device
+// passes.
+type Orientation uint8
+
+const (
+	// PassLow: the pass region lies below the fail region (the paper's
+	// eq. 3 case, "P < F": e.g. the device passes at 100 MHz and fails
+	// above 110 MHz, or passes at a short strobe and fails at a long one).
+	PassLow Orientation = iota
+	// PassHigh: the pass region lies above the fail region (eq. 4 case,
+	// "P > F": e.g. the device passes above Vddmin and fails below).
+	PassHigh
+)
+
+// String names the orientation.
+func (o Orientation) String() string {
+	if o == PassHigh {
+		return "pass-high"
+	}
+	return "pass-low"
+}
+
+// Measurer performs one characterization measurement: apply the test with
+// the swept parameter set to value and report pass/fail.
+type Measurer interface {
+	Passes(value float64) (bool, error)
+}
+
+// MeasurerFunc adapts a function to the Measurer interface.
+type MeasurerFunc func(value float64) (bool, error)
+
+// Passes implements Measurer.
+func (f MeasurerFunc) Passes(value float64) (bool, error) { return f(value) }
+
+// Options configure one search over the characterization range [Lo, Hi]
+// ("very generous starting ranges should be selected", §4).
+type Options struct {
+	Lo, Hi      float64
+	Resolution  float64
+	Orientation Orientation
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if !(o.Lo < o.Hi) {
+		return fmt.Errorf("search: range [%g, %g] is empty", o.Lo, o.Hi)
+	}
+	if !(o.Resolution > 0) {
+		return fmt.Errorf("search: resolution %g must be positive", o.Resolution)
+	}
+	return nil
+}
+
+// Range returns the characterization range CR = Hi − Lo.
+func (o Options) Range() float64 { return o.Hi - o.Lo }
+
+// Result is the outcome of one trip-point search.
+type Result struct {
+	// TripPoint is the last passing parameter value (the paper's TPV).
+	TripPoint float64
+	// Measurements is the number of Passes calls consumed.
+	Measurements int
+	// Converged reports whether a pass/fail boundary was bracketed inside
+	// the range. When false, TripPoint holds the nearest range endpoint on
+	// the passing side (or the passing endpoint if the whole range passes).
+	Converged bool
+	// LastPass and FirstFail bracket the boundary when Converged.
+	LastPass, FirstFail float64
+}
+
+// Searcher is a trip-point search algorithm.
+type Searcher interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Search locates the trip point of m inside opt's range.
+	Search(m Measurer, opt Options) (Result, error)
+}
+
+// counting wraps a Measurer and counts measurements.
+type counting struct {
+	m Measurer
+	n int
+}
+
+func (c *counting) Passes(v float64) (bool, error) {
+	c.n++
+	return c.m.Passes(v)
+}
+
+// bisect refines a bracketed boundary down to resolution and returns the
+// refined bracket. pass and fail are parameter values with known outcomes.
+func bisect(c *counting, pass, fail float64, resolution float64) (float64, float64, error) {
+	for abs(fail-pass) > resolution {
+		mid := pass + (fail-pass)/2
+		if mid == pass || mid == fail {
+			break // floating-point exhaustion
+		}
+		ok, err := c.Passes(mid)
+		if err != nil {
+			return pass, fail, err
+		}
+		if ok {
+			pass = mid
+		} else {
+			fail = mid
+		}
+	}
+	return pass, fail, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// passSide returns the endpoint of the range on the passing side for the
+// orientation: Lo for PassLow, Hi for PassHigh.
+func passSide(opt Options) float64 {
+	if opt.Orientation == PassHigh {
+		return opt.Hi
+	}
+	return opt.Lo
+}
+
+// failSide returns the endpoint on the failing side.
+func failSide(opt Options) float64 {
+	if opt.Orientation == PassHigh {
+		return opt.Lo
+	}
+	return opt.Hi
+}
+
+// noBoundary builds the non-converged result when the whole range has a
+// single outcome. allPass tells which outcome was observed.
+func noBoundary(opt Options, n int, allPass bool) Result {
+	r := Result{Measurements: n, Converged: false}
+	if allPass {
+		r.TripPoint = failSide(opt) // passing all the way to the fail-side end
+		r.LastPass = failSide(opt)
+	} else {
+		r.TripPoint = passSide(opt) // never passed; report the pass-side end
+		r.FirstFail = passSide(opt)
+	}
+	return r
+}

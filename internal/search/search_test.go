@@ -1,0 +1,192 @@
+package search
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// surface is a synthetic device: passes on one side of trip, fails on the
+// other, with optional per-measurement drift and call counting.
+type surface struct {
+	trip        float64
+	orientation Orientation
+	driftPer    float64 // added to trip after every measurement
+	driftFloor  float64 // drift saturates here (device heating levels off)
+	calls       int
+	failAfter   int // return an error after this many calls (0 = never)
+}
+
+func (s *surface) Passes(v float64) (bool, error) {
+	s.calls++
+	if s.failAfter > 0 && s.calls > s.failAfter {
+		return false, errors.New("tester fault")
+	}
+	trip := s.trip
+	s.trip += s.driftPer
+	if s.driftPer < 0 && s.trip < s.driftFloor {
+		s.trip = s.driftFloor
+	}
+	if s.orientation == PassLow {
+		return v <= trip, nil
+	}
+	return v >= trip, nil
+}
+
+func opts(o Orientation) Options {
+	return Options{Lo: 0, Hi: 100, Resolution: 0.1, Orientation: o}
+}
+
+func searchers() map[string]func() Searcher {
+	return map[string]func() Searcher{
+		"linear":     func() Searcher { return Linear{Step: 0.5} },
+		"binary":     func() Searcher { return Binary{} },
+		"successive": func() Searcher { return SuccessiveApproximation{} },
+		"sutp":       func() Searcher { return &SUTP{Refine: true} },
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{Lo: 1, Hi: 1, Resolution: 0.1}).Validate(); err == nil {
+		t.Error("empty range accepted")
+	}
+	if err := (Options{Lo: 0, Hi: 1, Resolution: 0}).Validate(); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	if err := (Options{Lo: 0, Hi: 1, Resolution: 0.1}).Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestOrientationString(t *testing.T) {
+	if PassLow.String() != "pass-low" || PassHigh.String() != "pass-high" {
+		t.Error("orientation names wrong")
+	}
+}
+
+func TestAllSearchersConvergePassLow(t *testing.T) {
+	for name, mk := range searchers() {
+		s := &surface{trip: 37.3, orientation: PassLow}
+		res, err := mk().Search(s, opts(PassLow))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s did not converge", name)
+		}
+		tol := 0.5 + 1e-9 // linear uses its own step
+		if math.Abs(res.TripPoint-37.3) > tol {
+			t.Errorf("%s trip point %g, want 37.3 ± %g", name, res.TripPoint, tol)
+		}
+		if res.Measurements != s.calls {
+			t.Errorf("%s reported %d measurements, surface saw %d", name, res.Measurements, s.calls)
+		}
+		if res.LastPass > res.FirstFail {
+			t.Errorf("%s bracket inverted for pass-low: pass %g > fail %g", name, res.LastPass, res.FirstFail)
+		}
+	}
+}
+
+func TestAllSearchersConvergePassHigh(t *testing.T) {
+	for name, mk := range searchers() {
+		s := &surface{trip: 42.0, orientation: PassHigh}
+		res, err := mk().Search(s, opts(PassHigh))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s did not converge", name)
+		}
+		if math.Abs(res.TripPoint-42.0) > 0.5+1e-9 {
+			t.Errorf("%s trip point %g, want 42 ± 0.5", name, res.TripPoint)
+		}
+		if res.LastPass < res.FirstFail {
+			t.Errorf("%s bracket inverted for pass-high: pass %g < fail %g", name, res.LastPass, res.FirstFail)
+		}
+	}
+}
+
+func TestAllSearchersHandleAllPass(t *testing.T) {
+	for name, mk := range searchers() {
+		s := &surface{trip: 1000, orientation: PassLow} // trip beyond range
+		res, err := mk().Search(s, opts(PassLow))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Converged {
+			t.Errorf("%s claimed convergence on an all-pass range", name)
+		}
+		if res.TripPoint != 100 {
+			t.Errorf("%s all-pass trip point %g, want the fail-side endpoint 100", name, res.TripPoint)
+		}
+	}
+}
+
+func TestAllSearchersHandleAllFail(t *testing.T) {
+	for name, mk := range searchers() {
+		s := &surface{trip: -5, orientation: PassLow} // even Lo fails
+		res, err := mk().Search(s, opts(PassLow))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Converged {
+			t.Errorf("%s claimed convergence on an all-fail range", name)
+		}
+		if res.TripPoint != 0 {
+			t.Errorf("%s all-fail trip point %g, want the pass-side endpoint 0", name, res.TripPoint)
+		}
+	}
+}
+
+func TestAllSearchersPropagateErrors(t *testing.T) {
+	for name, mk := range searchers() {
+		s := &surface{trip: 50, orientation: PassLow, failAfter: 2}
+		if _, err := mk().Search(s, opts(PassLow)); err == nil {
+			t.Errorf("%s swallowed the measurement error", name)
+		}
+	}
+}
+
+func TestAllSearchersRejectInvalidOptions(t *testing.T) {
+	for name, mk := range searchers() {
+		s := &surface{trip: 50, orientation: PassLow}
+		if _, err := mk().Search(s, Options{Lo: 5, Hi: 1, Resolution: 0.1}); err == nil {
+			t.Errorf("%s accepted an inverted range", name)
+		}
+	}
+}
+
+func TestSearcherAccuracyProperty(t *testing.T) {
+	// Binary, successive approximation and refined SUTP must locate any
+	// trip point inside the range to within the resolution.
+	f := func(raw float64) bool {
+		trip := 1 + math.Abs(math.Mod(raw, 98))
+		for _, mk := range []func() Searcher{
+			func() Searcher { return Binary{} },
+			func() Searcher { return SuccessiveApproximation{} },
+			func() Searcher { return &SUTP{Refine: true} },
+		} {
+			s := &surface{trip: trip, orientation: PassLow}
+			res, err := mk().Search(s, opts(PassLow))
+			if err != nil || !res.Converged {
+				return false
+			}
+			if math.Abs(res.TripPoint-trip) > 0.1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasurerFunc(t *testing.T) {
+	m := MeasurerFunc(func(v float64) (bool, error) { return v < 5, nil })
+	ok, err := m.Passes(3)
+	if err != nil || !ok {
+		t.Error("MeasurerFunc adapter broken")
+	}
+}

@@ -1,0 +1,144 @@
+package search
+
+// SuccessiveApproximation is the ATE method the paper recommends for device
+// performance characterization (§1): it searches between two values using
+// one boundary and the half-way point. If both produce the same result the
+// search continues toward the other boundary; once the two probes disagree
+// the search bisects between the passing and the failing point. Unlike the
+// plain binary search it can sense a drifting parameter: RecheckEvery
+// re-verifies the current passing point during refinement and widens the
+// bracket again when the outcome has drifted.
+type SuccessiveApproximation struct {
+	// RecheckEvery re-measures the passing bracket edge after this many
+	// refinement steps (0 disables drift checking).
+	RecheckEvery int
+}
+
+// Name implements Searcher.
+func (SuccessiveApproximation) Name() string { return "successive-approximation" }
+
+// Search implements Searcher.
+func (s SuccessiveApproximation) Search(m Measurer, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	c := &counting{m: m}
+
+	a := passSide(opt) // expected pass
+	b := failSide(opt) // expected fail
+
+	okA, err := c.Passes(a)
+	if err != nil {
+		return Result{Measurements: c.n}, err
+	}
+	if !okA {
+		return noBoundary(opt, c.n, false), nil
+	}
+
+	// Walk half-intervals from the passing boundary toward the failing one
+	// until the probe outcome flips.
+	lo, hi := a, b
+	var pass, fail float64
+	found := false
+	for i := 0; i < 64; i++ {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi {
+			break
+		}
+		ok, err := c.Passes(mid)
+		if err != nil {
+			return Result{Measurements: c.n}, err
+		}
+		if ok {
+			// Same result as the passing side: continue toward the other end.
+			lo = mid
+			if abs(hi-lo) <= opt.Resolution {
+				// Reached the failing boundary region; verify it.
+				okEnd, err := c.Passes(hi)
+				if err != nil {
+					return Result{Measurements: c.n}, err
+				}
+				if okEnd {
+					return noBoundary(opt, c.n, true), nil
+				}
+				pass, fail, found = lo, hi, true
+				break
+			}
+			continue
+		}
+		pass, fail, found = lo, mid, true
+		break
+	}
+	if !found {
+		return noBoundary(opt, c.n, true), nil
+	}
+
+	// Refine with drift re-checking.
+	steps := 0
+	for abs(fail-pass) > opt.Resolution {
+		if s.RecheckEvery > 0 && steps > 0 && steps%s.RecheckEvery == 0 {
+			ok, err := c.Passes(pass)
+			if err != nil {
+				return Result{Measurements: c.n}, err
+			}
+			if !ok {
+				// The parameter drifted: the former pass point now fails.
+				// Walk back toward the passing boundary in geometrically
+				// growing steps until a passing value is found again.
+				fail = pass
+				towardA := 1.0
+				if a < pass {
+					towardA = -1.0
+				}
+				step := opt.Resolution
+				for {
+					cand := pass + towardA*step
+					if (towardA < 0 && cand <= a) || (towardA > 0 && cand >= a) {
+						cand = a
+					}
+					okCand, err := c.Passes(cand)
+					if err != nil {
+						return Result{Measurements: c.n}, err
+					}
+					if okCand {
+						pass = cand
+						break
+					}
+					fail = cand
+					if cand == a {
+						// Even the boundary fails now: report the best
+						// bracket we have.
+						return Result{
+							TripPoint:    a,
+							Measurements: c.n,
+							Converged:    false,
+							FirstFail:    cand,
+						}, nil
+					}
+					step *= 2
+				}
+			}
+		}
+		mid := pass + (fail-pass)/2
+		if mid == pass || mid == fail {
+			break
+		}
+		ok, err := c.Passes(mid)
+		if err != nil {
+			return Result{Measurements: c.n}, err
+		}
+		if ok {
+			pass = mid
+		} else {
+			fail = mid
+		}
+		steps++
+	}
+	return Result{
+		TripPoint:    pass,
+		Measurements: c.n,
+		Converged:    true,
+		LastPass:     pass,
+		FirstFail:    fail,
+	}, nil
+}

@@ -1,0 +1,149 @@
+package testgen
+
+import "fmt"
+
+// Directed stress patterns — the classic test-floor generators that sit
+// between the deterministic March suites and the fully random generator.
+// The paper's premise is that none of these pre-defined stimuli is
+// guaranteed to provoke the worst case, but they are the baselines a
+// characterization engineer runs first, and the multiple-trip-point
+// concept measures one trip point per each of them.
+
+// WalkingOnesAddr walks a single set address bit across the address bus
+// (1, 2, 4, …), alternating a write and a read per step — the classic
+// address-bus fault pattern. cycles bounds the sequence length.
+func WalkingOnesAddr(addrSpace uint32, cycles int, cond Conditions) (Test, error) {
+	if addrSpace < 2 {
+		return Test{}, fmt.Errorf("testgen: walking ones needs at least 2 addresses")
+	}
+	if cycles < 2 {
+		return Test{}, fmt.Errorf("testgen: walking ones needs at least 2 cycles")
+	}
+	seq := make(Sequence, 0, cycles)
+	bit := uint32(1)
+	for len(seq) < cycles {
+		addr := bit % addrSpace
+		seq = append(seq, Vector{Op: OpWrite, Addr: addr, Data: 0xAAAAAAAA})
+		if len(seq) < cycles {
+			seq = append(seq, Vector{Op: OpRead, Addr: addr})
+		}
+		bit <<= 1
+		if bit == 0 || bit >= addrSpace {
+			bit = 1
+		}
+	}
+	return Test{Name: "WALK1-ADDR", Seq: seq, Cond: cond}, nil
+}
+
+// AddressComplement is the butterfly pattern: accesses ping between
+// address k and its complement (addrSpace−1−k) with complementary data,
+// maximizing simultaneous address-bus switching.
+func AddressComplement(addrSpace uint32, cycles int, cond Conditions) (Test, error) {
+	if addrSpace < 2 || cycles < 2 {
+		return Test{}, fmt.Errorf("testgen: butterfly needs ≥2 addresses and cycles")
+	}
+	seq := make(Sequence, 0, cycles)
+	k := uint32(0)
+	for len(seq) < cycles {
+		comp := addrSpace - 1 - k
+		seq = append(seq, Vector{Op: OpWrite, Addr: k, Data: 0x00000000})
+		if len(seq) < cycles {
+			seq = append(seq, Vector{Op: OpWrite, Addr: comp, Data: 0xFFFFFFFF})
+		}
+		k = (k + 1) % (addrSpace / 2)
+	}
+	return Test{Name: "BUTTERFLY", Seq: seq, Cond: cond}, nil
+}
+
+// RowHammer activates one aggressor row as fast as possible (alternating
+// two columns so every cycle is a fresh access), the disturb pattern
+// neighbouring rows are most sensitive to. rowBase is any address in the
+// aggressor row; rowWidth the number of words per row.
+func RowHammer(rowBase uint32, rowWidth uint32, cycles int, cond Conditions) (Test, error) {
+	if rowWidth < 2 {
+		return Test{}, fmt.Errorf("testgen: row hammer needs a row of at least 2 words")
+	}
+	if cycles < 2 {
+		return Test{}, fmt.Errorf("testgen: row hammer needs at least 2 cycles")
+	}
+	base := rowBase - rowBase%rowWidth
+	seq := make(Sequence, 0, cycles)
+	for i := 0; len(seq) < cycles; i++ {
+		addr := base + uint32(i%2)
+		seq = append(seq, Vector{Op: OpRead, Addr: addr})
+	}
+	return Test{Name: fmt.Sprintf("ROWHAMMER@%d", base), Seq: seq, Cond: cond}, nil
+}
+
+// BusThrash is the bitline-coupling motif: adjacent-column writes with
+// complementary data, alternating between two far-apart base rows — the
+// shape of the worst case the device model's ridge responds to. It is
+// included as a *directed baseline*: an engineer who already suspects
+// coupling would run it, but without the CI flow there is no reason to.
+func BusThrash(addrSpace uint32, cycles int, cond Conditions) (Test, error) {
+	if addrSpace < 4 || cycles < 4 {
+		return Test{}, fmt.Errorf("testgen: bus thrash needs ≥4 addresses and cycles")
+	}
+	seq := make(Sequence, 0, cycles)
+	for i := 0; len(seq) < cycles; i++ {
+		base := uint32(0)
+		if i%2 == 1 {
+			base = addrSpace - 2
+		}
+		seq = append(seq, Vector{Op: OpWrite, Addr: base, Data: 0x00000000})
+		if len(seq) < cycles {
+			seq = append(seq, Vector{Op: OpWrite, Addr: base + 1, Data: 0xFFFFFFFF})
+		}
+	}
+	return Test{Name: "BUSTHRASH", Seq: seq, Cond: cond}, nil
+}
+
+// CheckerboardFill writes a checkerboard background over a window and
+// reads it back — the DC retention-style baseline with low bus activity.
+func CheckerboardFill(base, words uint32, cond Conditions) (Test, error) {
+	if words < 1 {
+		return Test{}, fmt.Errorf("testgen: checkerboard needs at least one word")
+	}
+	seq := make(Sequence, 0, 2*words)
+	for i := uint32(0); i < words; i++ {
+		d := uint32(0x55555555)
+		if i%2 == 1 {
+			d = 0xAAAAAAAA
+		}
+		seq = append(seq, Vector{Op: OpWrite, Addr: base + i, Data: d})
+	}
+	for i := uint32(0); i < words; i++ {
+		seq = append(seq, Vector{Op: OpRead, Addr: base + i})
+	}
+	return Test{Name: "CHECKERBOARD", Seq: seq, Cond: cond}, nil
+}
+
+// DirectedSuite returns the full directed baseline set over the given
+// address space, each pattern sized into the paper's short-sequence regime.
+func DirectedSuite(addrSpace uint32, rowWidth uint32, cond Conditions) ([]Test, error) {
+	cycles := MaxSequenceLen / 2
+	var out []Test
+	mk := func(t Test, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		return nil
+	}
+	if err := mk(WalkingOnesAddr(addrSpace, cycles, cond)); err != nil {
+		return nil, err
+	}
+	if err := mk(AddressComplement(addrSpace, cycles, cond)); err != nil {
+		return nil, err
+	}
+	if err := mk(RowHammer(0, rowWidth, cycles, cond)); err != nil {
+		return nil, err
+	}
+	if err := mk(BusThrash(addrSpace, cycles, cond)); err != nil {
+		return nil, err
+	}
+	if err := mk(CheckerboardFill(0, 250, cond)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDirectedSuiteValidAndBounded(t *testing.T) {
+	suite, err := DirectedSuite(4096, 16, NominalConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d patterns", len(suite))
+	}
+	names := map[string]bool{}
+	for _, tt := range suite {
+		if names[tt.Name] {
+			t.Errorf("duplicate directed name %q", tt.Name)
+		}
+		names[tt.Name] = true
+		if err := tt.Seq.Validate(4096); err != nil {
+			t.Errorf("%s invalid: %v", tt.Name, err)
+		}
+		if len(tt.Seq) > MaxSequenceLen {
+			t.Errorf("%s length %d exceeds the short-sequence regime", tt.Name, len(tt.Seq))
+		}
+	}
+}
+
+func TestWalkingOnesTouchesEveryBit(t *testing.T) {
+	tt, err := WalkingOnesAddr(4096, 200, NominalConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, v := range tt.Seq {
+		seen[v.Addr] = true
+	}
+	for bit := uint32(1); bit < 4096; bit <<= 1 {
+		if !seen[bit] {
+			t.Errorf("walking ones never visited address %d", bit)
+		}
+	}
+}
+
+func TestAddressComplementMaximizesATD(t *testing.T) {
+	tt, err := AddressComplement(4096, 400, NominalConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ExtractFeatures(tt, DefaultConditionLimits())
+	if f[FeatATDMean] < 0.7 {
+		t.Errorf("butterfly ATD mean %.2f; complement addressing should be high", f[FeatATDMean])
+	}
+}
+
+func TestRowHammerStaysInRow(t *testing.T) {
+	tt, err := RowHammer(37, 16, 300, NominalConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBase := uint32(37 - 37%16)
+	for i, v := range tt.Seq {
+		if v.Addr/16 != rowBase/16 {
+			t.Fatalf("vector %d address %d left the aggressor row", i, v.Addr)
+		}
+	}
+	if !strings.Contains(tt.Name, "ROWHAMMER") {
+		t.Errorf("name %q", tt.Name)
+	}
+}
+
+func TestBusThrashCouples(t *testing.T) {
+	tt, err := BusThrash(4096, 400, NominalConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ExtractFeatures(tt, DefaultConditionLimits())
+	if f[FeatCoupling] < 0.9 {
+		t.Errorf("bus thrash coupling %.2f, want ≈1", f[FeatCoupling])
+	}
+	if f[FeatInvertRate] < 0.9 {
+		t.Errorf("bus thrash invert rate %.2f", f[FeatInvertRate])
+	}
+}
+
+func TestCheckerboardReadsBackAll(t *testing.T) {
+	tt, err := CheckerboardFill(10, 50, NominalConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Seq.Writes() != 50 || tt.Seq.Reads() != 50 {
+		t.Errorf("checkerboard %dW/%dR, want 50/50", tt.Seq.Writes(), tt.Seq.Reads())
+	}
+}
+
+func TestDirectedValidation(t *testing.T) {
+	cond := NominalConditions()
+	if _, err := WalkingOnesAddr(1, 100, cond); err == nil {
+		t.Error("walking ones with 1 address accepted")
+	}
+	if _, err := WalkingOnesAddr(4096, 1, cond); err == nil {
+		t.Error("walking ones with 1 cycle accepted")
+	}
+	if _, err := AddressComplement(1, 100, cond); err == nil {
+		t.Error("butterfly with 1 address accepted")
+	}
+	if _, err := RowHammer(0, 1, 100, cond); err == nil {
+		t.Error("row hammer with 1-word row accepted")
+	}
+	if _, err := BusThrash(2, 100, cond); err == nil {
+		t.Error("bus thrash with 2 addresses accepted")
+	}
+	if _, err := CheckerboardFill(0, 0, cond); err == nil {
+		t.Error("empty checkerboard accepted")
+	}
+}

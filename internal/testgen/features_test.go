@@ -1,0 +1,167 @@
+package testgen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFeatureNamesAligned(t *testing.T) {
+	if got := len(FeatureNames()); got != NumFeatures {
+		t.Fatalf("FeatureNames has %d entries, NumFeatures is %d", got, NumFeatures)
+	}
+}
+
+func TestExtractFeaturesEmpty(t *testing.T) {
+	f := ExtractFeatures(Test{}, DefaultConditionLimits())
+	if len(f) != NumFeatures {
+		t.Fatalf("feature vector length %d, want %d", len(f), NumFeatures)
+	}
+	for i, v := range f {
+		if v != 0 {
+			t.Errorf("empty test feature %s = %g, want 0", FeatureNames()[i], v)
+		}
+	}
+}
+
+func TestExtractFeaturesRange(t *testing.T) {
+	g := newGen(21)
+	limits := g.Limits()
+	for i := 0; i < 100; i++ {
+		f := ExtractFeatures(g.Next(), limits)
+		for j, v := range f {
+			if v < 0 || v > 1 {
+				t.Fatalf("feature %s = %g outside [0,1]", FeatureNames()[j], v)
+			}
+		}
+	}
+}
+
+func TestExtractFeaturesRangeProperty(t *testing.T) {
+	limits := DefaultConditionLimits()
+	f := func(seed int64, n uint8) bool {
+		g := NewRandomGenerator(seed, 4096, limits)
+		tt := Test{Seq: g.Sequence(int(n%200) + 2), Cond: g.Conditions()}
+		for _, v := range ExtractFeatures(tt, limits) {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadWriteRatios(t *testing.T) {
+	seq := Sequence{
+		{Op: OpRead, Addr: 0}, {Op: OpRead, Addr: 1},
+		{Op: OpWrite, Addr: 2, Data: 1}, {Op: OpNop},
+	}
+	f := ExtractFeatures(Test{Seq: seq, Cond: NominalConditions()}, DefaultConditionLimits())
+	if got := f[FeatReadRatio]; got != 0.5 {
+		t.Errorf("read ratio %g, want 0.5", got)
+	}
+	if got := f[FeatWriteRatio]; got != 0.25 {
+		t.Errorf("write ratio %g, want 0.25", got)
+	}
+}
+
+func TestBurstinessOnSequentialWalk(t *testing.T) {
+	seq := make(Sequence, 100)
+	for i := range seq {
+		seq[i] = Vector{Op: OpRead, Addr: uint32(i)}
+	}
+	f := ExtractFeatures(Test{Seq: seq, Cond: NominalConditions()}, DefaultConditionLimits())
+	if f[FeatBurstiness] < 0.9 {
+		t.Errorf("sequential walk burstiness %g, want ≈1", f[FeatBurstiness])
+	}
+	if f[FeatLocality] < 0.9 {
+		t.Errorf("sequential walk locality %g, want ≈1", f[FeatLocality])
+	}
+}
+
+func TestCheckerboardAffinity(t *testing.T) {
+	seq := make(Sequence, 64)
+	for i := range seq {
+		d := uint32(0x55555555)
+		if i%2 == 1 {
+			d = 0xAAAAAAAA
+		}
+		seq[i] = Vector{Op: OpWrite, Addr: uint32(i), Data: d}
+	}
+	f := ExtractFeatures(Test{Seq: seq, Cond: NominalConditions()}, DefaultConditionLimits())
+	if f[FeatCheckerboard] != 1 {
+		t.Errorf("checkerboard affinity %g, want 1", f[FeatCheckerboard])
+	}
+	if f[FeatInvertRate] < 0.9 {
+		t.Errorf("invert rate %g, want ≈1 for alternating complement writes", f[FeatInvertRate])
+	}
+}
+
+func TestCouplingFeature(t *testing.T) {
+	// Adjacent-address complementary writes are exactly the coupling motif.
+	seq := make(Sequence, 100)
+	for i := range seq {
+		d := uint32(0)
+		if i%2 == 1 {
+			d = 0xFFFFFFFF
+		}
+		seq[i] = Vector{Op: OpWrite, Addr: uint32(i%2 + 100), Data: d}
+	}
+	f := ExtractFeatures(Test{Seq: seq, Cond: NominalConditions()}, DefaultConditionLimits())
+	if f[FeatCoupling] < 0.9 {
+		t.Errorf("coupling feature %g, want ≈1", f[FeatCoupling])
+	}
+
+	// Far-apart writes must not count as coupling.
+	for i := range seq {
+		seq[i].Addr = uint32(i%2) * 512
+	}
+	f = ExtractFeatures(Test{Seq: seq, Cond: NominalConditions()}, DefaultConditionLimits())
+	if f[FeatCoupling] != 0 {
+		t.Errorf("far-write coupling feature %g, want 0", f[FeatCoupling])
+	}
+}
+
+func TestConditionFeaturesNormalized(t *testing.T) {
+	limits := DefaultConditionLimits()
+	lo := Test{Seq: Sequence{{Op: OpNop}}, Cond: Conditions{VddV: limits.VddMin, TempC: limits.TempMin, ClockMHz: limits.ClockMin}}
+	hi := Test{Seq: Sequence{{Op: OpNop}}, Cond: Conditions{VddV: limits.VddMax, TempC: limits.TempMax, ClockMHz: limits.ClockMax}}
+	fl := ExtractFeatures(lo, limits)
+	fh := ExtractFeatures(hi, limits)
+	for _, idx := range []int{FeatVdd, FeatTemp, FeatClock} {
+		if fl[idx] != 0 {
+			t.Errorf("low condition feature %s = %g, want 0", FeatureNames()[idx], fl[idx])
+		}
+		if fh[idx] != 1 {
+			t.Errorf("high condition feature %s = %g, want 1", FeatureNames()[idx], fh[idx])
+		}
+	}
+}
+
+func TestFeatureDiscriminatesActivity(t *testing.T) {
+	// A ping-pong complementary-address pattern must show much higher ATD
+	// than a sequential walk — the NN's signal depends on it.
+	pp := make(Sequence, 100)
+	for i := range pp {
+		addr := uint32(0)
+		if i%2 == 1 {
+			addr = 4095
+		}
+		pp[i] = Vector{Op: OpRead, Addr: addr}
+	}
+	seqWalk := make(Sequence, 100)
+	for i := range seqWalk {
+		seqWalk[i] = Vector{Op: OpRead, Addr: uint32(i)}
+	}
+	limits := DefaultConditionLimits()
+	fp := ExtractFeatures(Test{Seq: pp, Cond: NominalConditions()}, limits)
+	fs := ExtractFeatures(Test{Seq: seqWalk, Cond: NominalConditions()}, limits)
+	if fp[FeatATDMean] <= fs[FeatATDMean]+0.2 {
+		t.Errorf("ping-pong ATD %g not clearly above sequential %g", fp[FeatATDMean], fs[FeatATDMean])
+	}
+	if fp[FeatPingPong] <= fs[FeatPingPong] {
+		t.Errorf("ping-pong score %g not above sequential %g", fp[FeatPingPong], fs[FeatPingPong])
+	}
+}

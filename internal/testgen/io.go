@@ -1,0 +1,160 @@
+package testgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text vector format. Worst-case tests leave the flow as pattern files a
+// test engineer can load, diff and edit — a minimal ATE-style format:
+//
+//	# optional comments
+//	test NAME
+//	cond vdd=1.80 temp=25 clock=100
+//	W 0004 DEADBEEF
+//	R 0008
+//	N
+//	end
+//
+// Addresses and data are hexadecimal; W is a write (address, data), R a
+// read (address), N an idle cycle. Multiple tests may follow each other in
+// one file.
+
+// WriteTests serializes tests to the text vector format.
+func WriteTests(w io.Writer, tests []Test) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range tests {
+		if strings.ContainsAny(t.Name, "\n\r") {
+			return fmt.Errorf("testgen: test name %q contains a newline", t.Name)
+		}
+		if t.Name == "" {
+			return fmt.Errorf("testgen: cannot serialize an unnamed test")
+		}
+		fmt.Fprintf(bw, "test %s\n", t.Name)
+		fmt.Fprintf(bw, "cond vdd=%.4g temp=%.4g clock=%.5g\n",
+			t.Cond.VddV, t.Cond.TempC, t.Cond.ClockMHz)
+		for _, v := range t.Seq {
+			switch v.Op {
+			case OpWrite:
+				fmt.Fprintf(bw, "W %X %X\n", v.Addr, v.Data)
+			case OpRead:
+				fmt.Fprintf(bw, "R %X\n", v.Addr)
+			case OpNop:
+				fmt.Fprintln(bw, "N")
+			default:
+				return fmt.Errorf("testgen: test %s: unknown op %d", t.Name, v.Op)
+			}
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// ReadTests parses the text vector format.
+func ReadTests(r io.Reader) ([]Test, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	var (
+		tests []Test
+		cur   *Test
+		line  int
+	)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("testgen: line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "test":
+			if cur != nil {
+				return nil, fail("nested test block (missing 'end')")
+			}
+			name := strings.TrimSpace(strings.TrimPrefix(text, "test"))
+			if name == "" {
+				return nil, fail("'test' needs a name")
+			}
+			cur = &Test{Name: name, Cond: NominalConditions()}
+		case "cond":
+			if cur == nil {
+				return nil, fail("'cond' outside a test block")
+			}
+			for _, kv := range fields[1:] {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fail("malformed condition %q", kv)
+				}
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fail("condition %s: %v", key, err)
+				}
+				switch key {
+				case "vdd":
+					cur.Cond.VddV = f
+				case "temp":
+					cur.Cond.TempC = f
+				case "clock":
+					cur.Cond.ClockMHz = f
+				default:
+					return nil, fail("unknown condition %q", key)
+				}
+			}
+		case "W":
+			if cur == nil {
+				return nil, fail("vector outside a test block")
+			}
+			if len(fields) != 3 {
+				return nil, fail("write needs address and data")
+			}
+			addr, err := strconv.ParseUint(fields[1], 16, 32)
+			if err != nil {
+				return nil, fail("write address: %v", err)
+			}
+			data, err := strconv.ParseUint(fields[2], 16, 32)
+			if err != nil {
+				return nil, fail("write data: %v", err)
+			}
+			cur.Seq = append(cur.Seq, Vector{Op: OpWrite, Addr: uint32(addr), Data: uint32(data)})
+		case "R":
+			if cur == nil {
+				return nil, fail("vector outside a test block")
+			}
+			if len(fields) != 2 {
+				return nil, fail("read needs an address")
+			}
+			addr, err := strconv.ParseUint(fields[1], 16, 32)
+			if err != nil {
+				return nil, fail("read address: %v", err)
+			}
+			cur.Seq = append(cur.Seq, Vector{Op: OpRead, Addr: uint32(addr)})
+		case "N":
+			if cur == nil {
+				return nil, fail("vector outside a test block")
+			}
+			cur.Seq = append(cur.Seq, Vector{Op: OpNop})
+		case "end":
+			if cur == nil {
+				return nil, fail("'end' outside a test block")
+			}
+			tests = append(tests, *cur)
+			cur = nil
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("testgen: unterminated test block %q", cur.Name)
+	}
+	return tests, nil
+}

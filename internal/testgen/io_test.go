@@ -1,0 +1,125 @@
+package testgen
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestVectorFileRoundTrip(t *testing.T) {
+	gen := newGen(51)
+	orig := gen.Batch(5)
+	march, err := MarchTest(MarchCMinus(), 0, 16, 0x55555555, NominalConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig = append(orig, march)
+	orig = append(orig, Test{
+		Name: "with-nops",
+		Seq:  Sequence{{Op: OpNop}, {Op: OpWrite, Addr: 1, Data: 2}, {Op: OpNop}, {Op: OpRead, Addr: 1}},
+		Cond: Conditions{VddV: 1.62, TempC: -40, ClockMHz: 133},
+	})
+
+	var buf bytes.Buffer
+	if err := WriteTests(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTests(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip: %d tests, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Name != orig[i].Name {
+			t.Errorf("test %d name %q vs %q", i, got[i].Name, orig[i].Name)
+		}
+		if !reflect.DeepEqual(got[i].Seq, orig[i].Seq) {
+			t.Errorf("test %d sequence mangled", i)
+		}
+		c1, c2 := got[i].Cond, orig[i].Cond
+		if abs64(c1.VddV-c2.VddV) > 1e-3 || abs64(c1.TempC-c2.TempC) > 1e-2 || abs64(c1.ClockMHz-c2.ClockMHz) > 1e-2 {
+			t.Errorf("test %d conditions %+v vs %+v", i, c1, c2)
+		}
+	}
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestWriteTestsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTests(&buf, []Test{{Name: ""}}); err == nil {
+		t.Error("unnamed test accepted")
+	}
+	if err := WriteTests(&buf, []Test{{Name: "has\nnewline"}}); err == nil {
+		t.Error("newline name accepted")
+	}
+	if err := WriteTests(&buf, []Test{{Name: "x", Seq: Sequence{{Op: OpKind(9)}}}}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestReadTestsCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+test T1
+
+cond vdd=1.8
+W A 55
+# mid-block comment
+R A
+end
+`
+	tests, err := ReadTests(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 1 || len(tests[0].Seq) != 2 {
+		t.Fatalf("parsed %+v", tests)
+	}
+	if tests[0].Seq[0].Addr != 0xA || tests[0].Seq[0].Data != 0x55 {
+		t.Error("hex fields misparsed")
+	}
+	// Unset conditions default to nominal.
+	if tests[0].Cond.TempC != 25 || tests[0].Cond.ClockMHz != 100 {
+		t.Errorf("partial cond defaults: %+v", tests[0].Cond)
+	}
+}
+
+func TestReadTestsErrors(t *testing.T) {
+	cases := map[string]string{
+		"vector outside block": "W 1 2\n",
+		"nested test":          "test A\ntest B\n",
+		"bad directive":        "test A\nQ 1\nend\n",
+		"bad write":            "test A\nW 1\nend\n",
+		"bad hex":              "test A\nW ZZ 1\nend\n",
+		"bad cond":             "test A\ncond vdd=abc\nend\n",
+		"unknown cond":         "test A\ncond humidity=1\nend\n",
+		"malformed cond":       "test A\ncond vdd\nend\n",
+		"unterminated":         "test A\nR 1\n",
+		"stray end":            "end\n",
+		"test without name":    "test\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadTests(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestReadTestsEmpty(t *testing.T) {
+	tests, err := ReadTests(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 0 {
+		t.Errorf("parsed %d tests from empty input", len(tests))
+	}
+}

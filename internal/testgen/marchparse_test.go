@@ -1,0 +1,113 @@
+package testgen
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestParseMarchASCIIEquivalentToBuiltin(t *testing.T) {
+	parsed, err := ParseMarch("March C-", "a(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); a(r0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed.Elements, MarchCMinus().Elements) {
+		t.Error("parsed March C- differs from the built-in definition")
+	}
+}
+
+func TestParseMarchUnicodeArrows(t *testing.T) {
+	parsed, err := ParseMarch("March C-", "{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed.Elements, MarchCMinus().Elements) {
+		t.Error("unicode notation parse differs from the built-in definition")
+	}
+}
+
+func TestParseMarchErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"no marker":   "(w0)",
+		"no parens":   "u w0",
+		"empty ops":   "u()",
+		"unknown op":  "u(w2)",
+		"braces only": "{}",
+	}
+	for name, notation := range cases {
+		if _, err := ParseMarch("x", notation); err == nil {
+			t.Errorf("%s: notation %q accepted", name, notation)
+		}
+	}
+}
+
+func TestFormatMarchRoundTrip(t *testing.T) {
+	for _, alg := range []MarchAlgorithm{MarchCMinus(), MarchB(), MATSPlus()} {
+		notation := FormatMarch(alg)
+		parsed, err := ParseMarch(alg.Name, notation)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		if !reflect.DeepEqual(parsed.Elements, alg.Elements) {
+			t.Errorf("%s: round trip through %q changed the algorithm", alg.Name, notation)
+		}
+	}
+}
+
+func TestMarchLibrary(t *testing.T) {
+	names := MarchLibraryNames()
+	if len(names) < 8 {
+		t.Fatalf("library has only %d algorithms", len(names))
+	}
+	sort.Strings(names)
+	wantComplexities := map[string]int{
+		"MATS":     4,
+		"MATS+":    5,
+		"MATS++":   6,
+		"March X":  6,
+		"March Y":  8,
+		"March C-": 10,
+		"March A":  15,
+		"March B":  17,
+		"March SS": 22,
+		"March LR": 14,
+	}
+	for _, name := range names {
+		alg, err := MarchFromLibrary(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want, ok := wantComplexities[name]; ok && alg.Complexity() != want {
+			t.Errorf("%s complexity %dN, want %dN", name, alg.Complexity(), want)
+		}
+		// Every library algorithm must expand to a valid test.
+		tt, err := MarchTest(alg, 0, 16, 0x55555555, NominalConditions())
+		if err != nil {
+			t.Fatalf("%s expansion: %v", name, err)
+		}
+		if err := tt.Seq.Validate(4096); err != nil {
+			t.Fatalf("%s expansion invalid: %v", name, err)
+		}
+	}
+	if _, err := MarchFromLibrary("March Z"); err == nil {
+		t.Error("unknown library name accepted")
+	}
+}
+
+func TestLibraryCMinusMatchesBuiltin(t *testing.T) {
+	lib, err := MarchFromLibrary("March C-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lib.Elements, MarchCMinus().Elements) {
+		t.Error("library March C- differs from built-in")
+	}
+	libB, err := MarchFromLibrary("March B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(libB.Elements, MarchB().Elements) {
+		t.Error("library March B differs from built-in")
+	}
+}

@@ -1,0 +1,106 @@
+package trippoint
+
+import "math"
+
+// Drift analysis over a DSV set. Trip points collected in measurement
+// order carry a time dimension: a systematic trend across the run is
+// parameter drift (device heating, supply settling), which the paper's §1
+// warns corrupts single-search readings and which motivates both the
+// drift-sensing successive approximation and the RTP re-anchoring option
+// of SUTP. DetectDrift separates that trend from the per-test variation
+// the multiple-trip-point concept is after.
+
+// DriftReport summarizes the systematic component of a DSV run.
+type DriftReport struct {
+	// Slope is the least-squares trend of trip point versus measurement
+	// index (parameter units per test).
+	Slope float64
+	// Intercept is the trend value at index 0.
+	Intercept float64
+	// TotalDrift is Slope × (N−1): the systematic shift over the run.
+	TotalDrift float64
+	// Residual is the RMS of trip points around the trend — the genuine
+	// test-to-test variation after removing drift.
+	Residual float64
+	// RawStdDev is the plain standard deviation (trend included), for
+	// comparison: RawStdDev ≫ Residual indicates the spread was mostly
+	// drift, not test dependence.
+	RawStdDev float64
+	// Significant reports whether the systematic shift exceeds the
+	// residual noise (|TotalDrift| > 2×Residual with at least 8 samples).
+	Significant bool
+	// N is the number of converged trip points analysed.
+	N int
+}
+
+// DetectDrift fits a linear trend to the converged trip points of the DSV
+// in measurement order. With fewer than three converged points the report
+// is zero-valued with Significant == false.
+func (d *DSV) DetectDrift() DriftReport {
+	var xs, ys []float64
+	for i, m := range d.Values {
+		if !m.Converged {
+			continue
+		}
+		xs = append(xs, float64(i))
+		ys = append(ys, m.TripPoint)
+	}
+	n := len(ys)
+	rep := DriftReport{N: n}
+	if n < 3 {
+		return rep
+	}
+
+	var sumX, sumY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+	}
+	meanX, meanY := sumX/float64(n), sumY/float64(n)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - meanX
+		sxx += dx * dx
+		sxy += dx * (ys[i] - meanY)
+	}
+	if sxx == 0 {
+		return rep
+	}
+	rep.Slope = sxy / sxx
+	rep.Intercept = meanY - rep.Slope*meanX
+	rep.TotalDrift = rep.Slope * (xs[len(xs)-1] - xs[0])
+
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := rep.Intercept + rep.Slope*xs[i]
+		r := ys[i] - pred
+		ssRes += r * r
+		dy := ys[i] - meanY
+		ssTot += dy * dy
+	}
+	rep.Residual = math.Sqrt(ssRes / float64(n))
+	rep.RawStdDev = math.Sqrt(ssTot / float64(n))
+	rep.Significant = n >= 8 && math.Abs(rep.TotalDrift) > 2*rep.Residual
+	return rep
+}
+
+// Detrended returns a copy of the DSV with the fitted drift removed from
+// every converged trip point — the corrected per-test variation a drift-
+// aware characterization reports.
+func (d *DSV) Detrended() *DSV {
+	rep := d.DetectDrift()
+	out := &DSV{Parameter: d.Parameter, Values: make([]Measurement, len(d.Values))}
+	copy(out.Values, d.Values)
+	if rep.N < 3 {
+		return out
+	}
+	// Remove the slope relative to the first measurement, so the corrected
+	// values read as "what the trip point would have been cold".
+	for i := range out.Values {
+		if !out.Values[i].Converged {
+			continue
+		}
+		out.Values[i].TripPoint = d.Values[i].TripPoint - rep.Slope*float64(i)
+	}
+	return out
+}
