@@ -1,0 +1,17 @@
+.PHONY: check test bench bench-parallel
+
+# The full CI gate: vet + build + race-enabled tests + the short benchmark
+# pass that writes BENCH_parallel.json.
+check:
+	./ci.sh
+
+test:
+	go build ./... && go test ./...
+
+# Every paper table/figure benchmark, one iteration each.
+bench:
+	go test -run '^$$' -bench . -benchtime 1x -timeout 60m .
+
+# The worker-ladder benchmarks for the GA and shmoo hot paths.
+bench-parallel:
+	go test -run '^$$' -bench 'Parallel|MeasurementCache' -benchtime 1x -timeout 60m .

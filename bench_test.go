@@ -70,6 +70,7 @@ func BenchmarkTable1FullComparison(b *testing.B) {
 				b.ReportMetric(r.WCR, "WCR_"+sanitize(r.TestName))
 				b.ReportMetric(r.Value, "ns_"+sanitize(r.TestName))
 			}
+			b.ReportMetric(float64(tester.Stats().Measurements), "measurements")
 		}
 	}
 }

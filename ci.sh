@@ -1,0 +1,36 @@
+#!/bin/sh
+# CI gate for the repo: static checks, the race-enabled test suite, and a
+# short benchmark pass that records the perf trajectory in
+# BENCH_parallel.json (ns/op and ATE measurement counts for the fig. 5
+# optimization scheme and the Table 1 comparison).
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test -race =="
+go test -race ./...
+
+echo "== benchmarks =="
+BENCH_OUT=$(go test -run '^$' \
+	-bench '^(BenchmarkFigure5OptimizationScheme|BenchmarkTable1FullComparison)$' \
+	-benchtime 1x -timeout 60m .)
+printf '%s\n' "$BENCH_OUT"
+printf '%s\n' "$BENCH_OUT" | awk '
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		ns = "null"; meas = "null"
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op") ns = $(i - 1)
+			if ($i == "measurements") meas = $(i - 1)
+		}
+		if (n++) printf ",\n"
+		printf "  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"ate_measurements\": %s}", name, ns, meas
+	}
+	BEGIN { printf "[\n" }
+	END   { printf "\n]\n" }
+' > BENCH_parallel.json
+echo "wrote BENCH_parallel.json:"
+cat BENCH_parallel.json

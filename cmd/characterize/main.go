@@ -42,6 +42,8 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the worst test's per-cycle trace as CSV here (with PDN droop analysis)")
 		minimize   = flag.Bool("minimize", false, "minimize the worst-case test for failure analysis")
 		evolveCond = flag.Bool("evolve-conditions", false, "let the GA evolve test conditions (default: fixed at nominal)")
+		parallel   = flag.Int("parallel", 0, "worker insertions for GA fitness, ensemble training and replication (0 = one per CPU, 1 = serial; results are identical either way)")
+		noCache    = flag.Bool("no-cache", false, "disable the measurement memo-cache (re-measure structurally identical tests)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,8 @@ func main() {
 	cfg := core.DefaultConfig(*seed)
 	cfg.Parameter = param
 	cfg.LearnTests = *learnTests
+	cfg.Parallelism = *parallel
+	cfg.DisableMeasurementCache = *noCache
 	if !*evolveCond {
 		nominal := testgen.NominalConditions()
 		cfg.FixedConditions = &nominal
@@ -137,6 +141,9 @@ func main() {
 	}
 	fmt.Printf("  GA: %d generations, %d evaluations, %d restarts, %d ATE measurements\n",
 		opt.GA.Generations, opt.GA.Evaluations, opt.GA.Restarts, opt.Measurements)
+	if !*noCache {
+		fmt.Printf("  measurement cache: %d hits, %d misses\n", opt.CacheHits, opt.CacheMisses)
+	}
 	fmt.Printf("  worst case: %s  WCR %.3f (%s)  %s = %.3f %s\n",
 		best.Test.Name, best.WCR, best.Class, param, best.Value, param.Unit())
 	if best.Class == wcr.Weakness || best.Class == wcr.Fail {

@@ -33,6 +33,7 @@ func main() {
 		vddMax = flag.Float64("vdd-max", 2.2, "Y axis upper bound (V)")
 		xMin   = flag.Float64("tdq-min", 18, "X axis lower bound (ns)")
 		xMax   = flag.Float64("tdq-max", 36, "X axis upper bound (ns)")
+		par    = flag.Int("parallel", 0, "worker insertions sweeping the overlay (0 = one per CPU, 1 = serial; the grid is identical either way)")
 	)
 	flag.Parse()
 
@@ -54,22 +55,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < *tests; i++ {
-		if err := plot.AddTest(tester, gen.Next()); err != nil {
-			log.Fatal(err)
-		}
-	}
+	batch := gen.Batch(*tests)
 	if *dbPath != "" {
 		db, err := core.LoadDatabaseFile(*dbPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, e := range db.Entries {
-			if err := plot.AddTest(tester, e.Test); err != nil {
-				log.Fatal(err)
-			}
+			batch = append(batch, e.Test)
 		}
 		fmt.Printf("overlaying %d database tests on top of %d random tests\n", db.Len(), *tests)
+	}
+	if err := plot.AddTestsParallel(tester, batch, *seed, *par); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Print(plot.Render())

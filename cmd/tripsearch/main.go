@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/ate"
 	"repro/internal/dut"
+	"repro/internal/parallel"
 	"repro/internal/search"
 	"repro/internal/testgen"
 	"repro/internal/trippoint"
@@ -31,6 +32,7 @@ func main() {
 		tests     = flag.Int("tests", 50, "number of random tests per algorithm")
 		paramName = flag.String("param", "tdq", "parameter: tdq, fmax, vddmin")
 		directed  = flag.Bool("directed", false, "also measure the directed baseline suite (March + stress patterns)")
+		par       = flag.Int("parallel", 0, "worker insertions, one per search algorithm (0 = one per CPU, 1 = serial; identical results either way)")
 	)
 	flag.Parse()
 
@@ -72,16 +74,30 @@ func main() {
 		param, opt.Lo, opt.Hi, param.Unit(), opt.Resolution, *tests)
 	fmt.Printf("%-18s %12s %15s %12s %12s\n", "algorithm", "total meas", "meas/test", "mean trip", "spread")
 
-	for _, a := range algos {
-		runner := trippoint.NewRunner(tester, param)
-		runner.Searcher = a.mk()
+	// Each algorithm measures the same batch on its own forked insertion —
+	// the rows are independent, so they fan across workers and print in
+	// declaration order regardless of scheduling.
+	rows := make([]*trippoint.DSV, len(algos))
+	err = parallel.Run(len(algos), *par, func(int) (*ate.ATE, error) {
+		return tester.Fork(*seed)
+	}, func(wk *ate.ATE, i int) error {
+		wk.Reseed(*seed + int64(i))
+		runner := trippoint.NewRunner(wk, param)
+		runner.Searcher = algos[i].mk()
 		dsv, err := runner.MeasureAll(batch)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
+		rows[i] = dsv
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, dsv := range rows {
 		s := dsv.Stats()
 		fmt.Printf("%-18s %12d %15.1f %9.3f %s %9.3f %s\n",
-			a.name, dsv.TotalMeasurements(),
+			algos[i].name, dsv.TotalMeasurements(),
 			float64(dsv.TotalMeasurements())/float64(*tests),
 			s.Mean, param.Unit(), s.Range, param.Unit())
 	}

@@ -70,6 +70,19 @@ type Config struct {
 	// condition set (Table 1: Vdd 1.8 V). Nil randomizes and evolves
 	// conditions.
 	FixedConditions *testgen.Conditions
+
+	// Parallelism is the worker count for every parallel stage of the flow
+	// (GA fitness batches, ensemble training, shmoo rows, lot screening,
+	// Table-1 replicas). Values below 1 select one worker per CPU
+	// (runtime.GOMAXPROCS); 1 runs serially. Results are bit-identical for
+	// any value — see internal/parallel.
+	Parallelism int
+
+	// DisableMeasurementCache turns off the GA's measurement memo-cache so
+	// every individual is re-measured even when its sequence and conditions
+	// are structurally identical to one already measured. Used to baseline
+	// the cache's savings.
+	DisableMeasurementCache bool
 }
 
 // DefaultConfig returns a configuration sized to run the full flow in

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ate"
+	"repro/internal/parallel"
+	"repro/internal/search"
+	"repro/internal/testgen"
+	"repro/internal/wcr"
+)
+
+// parallelEvaluator measures GA fitness the way fig. 5 prescribes — "GA
+// fitness = TPV measurement via ATE using equation (2), (3) and (4)" — but
+// fans a whole generation across the deterministic worker pool. The first
+// measured test runs a full-range search and establishes the reference trip
+// point (eq. 2, done serially); every later test costs only a handful of
+// SUTP steps from that reference, on a private forked tester insertion.
+//
+// Determinism: task t (a global counter across batches) is measured on an
+// insertion reseeded with Seed + t, so its trip point depends only on the
+// test and the counter — never on which worker ran it or in what order.
+// Per-task cost counters are merged into the main tester in task order.
+// The memo-cache is consulted before dispatch and filled after the batch,
+// keyed by the test's structural fingerprint (sequence + conditions; the
+// flow is already scoped to one die and one parameter), so elites, migrants
+// and duplicate individuals never burn ATE time twice.
+type parallelEvaluator struct {
+	c         *Characterizer
+	opts      search.Options
+	spec      float64
+	specIsMin bool
+	workers   int
+	cache     *parallel.MemoCache // nil disables memoization
+
+	rtp     float64
+	haveRTP bool
+	taskSeq int64 // measured-task counter across batches; drives seeds
+
+	evaluations int64 // SUTP searches actually performed
+}
+
+func newParallelEvaluator(c *Characterizer) *parallelEvaluator {
+	spec, isMin := c.cfg.Parameter.SpecValue()
+	e := &parallelEvaluator{
+		c:         c,
+		opts:      c.searchOptions(),
+		spec:      spec,
+		specIsMin: isMin,
+		workers:   c.cfg.Parallelism,
+	}
+	if !c.cfg.DisableMeasurementCache {
+		e.cache = parallel.NewMemoCache()
+	}
+	return e
+}
+
+// measureTask runs one hermetic trip-point search on the forked insertion:
+// reseed, fresh SUTP anchored to the shared reference (when established),
+// search. Returns the search result and the task's cost counters.
+func (e *parallelEvaluator) measureTask(wk *ate.ATE, tt testgen.Test, seed int64) (search.Result, ate.Stats, error) {
+	wk.Reseed(seed)
+	s := &search.SUTP{SF: e.c.cfg.SearchFactor, Refine: true}
+	if e.haveRTP {
+		s.SetReference(e.rtp)
+	}
+	res, err := s.Search(wk.Measurer(e.c.cfg.Parameter, tt), e.opts)
+	return res, wk.Stats(), err
+}
+
+// Fitness implements genetic.Evaluator for callers outside the batch path.
+func (e *parallelEvaluator) Fitness(t testgen.Test) (float64, error) {
+	fits, err := e.FitnessBatch([]testgen.Test{t})
+	if err != nil {
+		return 0, err
+	}
+	return fits[0], nil
+}
+
+// FitnessBatch implements genetic.BatchEvaluator.
+func (e *parallelEvaluator) FitnessBatch(tests []testgen.Test) ([]float64, error) {
+	out := make([]float64, len(tests))
+
+	// Resolve memoized tests and dedupe the rest by fingerprint, keeping
+	// first-appearance order so seeds and stats stay index-deterministic.
+	// With the cache disabled every test is its own group — the no-cache
+	// baseline measures every individual.
+	var (
+		reps    []int    // representative test index per group
+		fpOf    []uint64 // the representative's fingerprint
+		members [][]int  // test indices sharing the representative's value
+	)
+	groupOf := map[uint64]int{}
+	for i, tt := range tests {
+		fp := tt.Fingerprint()
+		if e.cache != nil {
+			if v, ok := e.cache.Get(fp); ok {
+				out[i] = v
+				continue
+			}
+			if g, ok := groupOf[fp]; ok {
+				members[g] = append(members[g], i)
+				continue
+			}
+			groupOf[fp] = len(reps)
+		}
+		reps = append(reps, i)
+		fpOf = append(fpOf, fp)
+		members = append(members, []int{i})
+	}
+	if len(reps) == 0 {
+		return out, nil
+	}
+
+	results := make([]search.Result, len(reps))
+	taskStats := make([]ate.Stats, len(reps))
+
+	// Establish the reference trip point serially: the full-range search
+	// (eq. 2) happens once, before any fan-out, so every parallelism level
+	// sees the identical reference.
+	start := 0
+	for ; start < len(reps) && !e.haveRTP; start++ {
+		wk, err := e.c.ate.Fork(e.c.cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: forking tester: %w", err)
+		}
+		res, st, err := e.measureTask(wk, tests[reps[start]], e.c.cfg.Seed+e.taskSeq+int64(start))
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s: %w", tests[reps[start]].Name, err)
+		}
+		results[start] = res
+		taskStats[start] = st
+		if res.Converged {
+			e.rtp = res.TripPoint
+			e.haveRTP = true
+		}
+	}
+
+	// Fan the remaining unique tests across workers, one forked insertion
+	// per worker, results into index-addressed slots.
+	if n := len(reps) - start; n > 0 {
+		err := parallel.Run(n, e.workers, func(int) (*ate.ATE, error) {
+			return e.c.ate.Fork(e.c.cfg.Seed)
+		}, func(wk *ate.ATE, i int) error {
+			t := start + i
+			res, st, err := e.measureTask(wk, tests[reps[t]], e.c.cfg.Seed+e.taskSeq+int64(t))
+			if err != nil {
+				return fmt.Errorf("core: evaluating %s: %w", tests[reps[t]].Name, err)
+			}
+			results[t] = res
+			taskStats[t] = st
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge costs in task order (float-sum order must not depend on the
+	// worker count), memoize, and fan values out to duplicate individuals.
+	for t := range reps {
+		e.c.ate.AddStats(taskStats[t])
+		// Non-converged searches still carry information: an all-fail
+		// range means the trip point is beyond the pass-side end
+		// (catastrophically bad, large WCR via the endpoint value); an
+		// all-pass range means huge margin (small WCR).
+		v := wcr.For(results[t].TripPoint, e.spec, e.specIsMin)
+		if e.cache != nil {
+			e.cache.Put(fpOf[t], v)
+		}
+		for _, m := range members[t] {
+			out[m] = v
+		}
+	}
+	e.taskSeq += int64(len(reps))
+	e.evaluations += int64(len(reps))
+	return out, nil
+}
+
+// cacheHits returns how many fitness lookups the memo-cache absorbed.
+func (e *parallelEvaluator) cacheHits() int64 {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.Hits()
+}
+
+// cacheMisses returns how many fitness lookups had to be measured.
+func (e *parallelEvaluator) cacheMisses() int64 {
+	if e.cache == nil {
+		return e.evaluations
+	}
+	return e.cache.Misses()
+}

@@ -67,7 +67,7 @@ func (c *Characterizer) Learn() (*LearningResult, error) {
 	if trainCfg.Epochs == 0 {
 		trainCfg = neural.DefaultTrainConfig(c.cfg.Seed)
 	}
-	ens, reports, err := neural.NewEnsemble(c.cfg.Seed, c.cfg.EnsembleSize, sizes, res.Dataset, trainCfg)
+	ens, reports, err := neural.NewEnsembleParallel(c.cfg.Seed, c.cfg.EnsembleSize, sizes, res.Dataset, trainCfg, c.cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("core: training ensemble: %w", err)
 	}

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
 
 	"repro/internal/ate"
 	"repro/internal/dut"
+	"repro/internal/parallel"
 	"repro/internal/search"
 	"repro/internal/testgen"
 	"repro/internal/trippoint"
@@ -108,7 +108,8 @@ func ScreenLot(param ate.Parameter, tests []testgen.Test, dies []*dut.Die, geom 
 }
 
 // ScreenLotParallel is ScreenLot across the given number of concurrent
-// tester insertions — the multi-site testing of production floors. Each
+// tester insertions — the multi-site testing of production floors — run on
+// the deterministic worker pool (workers below 1 select one per CPU). Each
 // die's measurements are independent (own device, own tester, seed derived
 // from the die ID), so the report is identical to the serial one, in die
 // order, regardless of the worker count.
@@ -119,32 +120,22 @@ func ScreenLotParallel(param ate.Parameter, tests []testgen.Test, dies []*dut.Di
 	if len(dies) == 0 {
 		return nil, fmt.Errorf("core: empty die lot")
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(dies) {
-		workers = len(dies)
-	}
-
 	type outcome struct {
 		dr   DieResult
 		cost int64
-		err  error
 	}
 	results := make([]outcome, len(dies))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, die := range dies {
-		wg.Add(1)
-		go func(i int, die *dut.Die) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			dr, cost, err := screenDie(param, tests, die, geom, baseSeed+int64(die.ID))
-			results[i] = outcome{dr: dr, cost: cost, err: err}
-		}(i, die)
+	err := parallel.ForEach(len(dies), workers, func(i int) error {
+		dr, cost, err := screenDie(param, tests, dies[i], geom, baseSeed+int64(dies[i].ID))
+		if err != nil {
+			return err
+		}
+		results[i] = outcome{dr: dr, cost: cost}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	_, isMin := param.SpecValue()
 	worseThan := func(a, b float64) bool {
@@ -163,9 +154,6 @@ func ScreenLotParallel(param ate.Parameter, tests []testgen.Test, dies []*dut.Di
 	minWorst, maxWorst := math.Inf(1), math.Inf(-1)
 	first := true
 	for i, res := range results {
-		if res.err != nil {
-			return nil, res.err
-		}
 		dr := res.dr
 		rep.Dies = append(rep.Dies, dr)
 		rep.ClassCounts[dr.Class]++

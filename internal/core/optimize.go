@@ -4,40 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/genetic"
-	"repro/internal/search"
-	"repro/internal/testgen"
 	"repro/internal/wcr"
 )
-
-// ateEvaluator measures GA fitness the way fig. 5 prescribes: "GA fitness =
-// TPV measurement via ATE using equation (2), (3) and (4)". A stateful SUTP
-// searcher keeps the reference trip point across individuals so every
-// fitness evaluation costs only a handful of measurements; the trip point
-// maps to fitness through the Worst Case Ratio (eqs. 5/6), so maximizing
-// fitness hunts the worst case.
-type ateEvaluator struct {
-	c    *Characterizer
-	sutp *search.SUTP
-	opts search.Options
-
-	spec      float64
-	specIsMin bool
-
-	evaluations int
-}
-
-func (e *ateEvaluator) Fitness(t testgen.Test) (float64, error) {
-	res, err := e.sutp.Search(e.c.ate.Measurer(e.c.cfg.Parameter, t), e.opts)
-	if err != nil {
-		return 0, err
-	}
-	e.evaluations++
-	// Non-converged searches still carry information: an all-fail range
-	// means the trip point is beyond the pass-side end (catastrophically
-	// bad, large WCR via the endpoint value); an all-pass range means huge
-	// margin (small WCR).
-	return wcr.For(res.TripPoint, e.spec, e.specIsMin), nil
-}
 
 // OptimizationResult is the outcome of the fig. 5 scheme.
 type OptimizationResult struct {
@@ -47,6 +15,10 @@ type OptimizationResult struct {
 	Database *Database
 	// Measurements is the total number of ATE measurements the GA spent.
 	Measurements int64
+	// CacheHits and CacheMisses count fitness lookups the measurement
+	// memo-cache absorbed versus lookups that had to be measured.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Optimize executes the optimization scheme of fig. 5: seed the GA with the
@@ -71,13 +43,7 @@ func (c *Characterizer) OptimizeFrom(seeds []genetic.Seed) (*OptimizationResult,
 	gaCfg.FixedConditions = c.cfg.FixedConditions
 
 	spec, isMin := c.cfg.Parameter.SpecValue()
-	eval := &ateEvaluator{
-		c:         c,
-		sutp:      c.newSUTP(),
-		opts:      c.searchOptions(),
-		spec:      spec,
-		specIsMin: isMin,
-	}
+	eval := newParallelEvaluator(c)
 
 	ops := genetic.NewOperators(c.cfg.Seed+1, c.gen)
 	opt, err := genetic.NewOptimizer(gaCfg, ops, eval)
@@ -115,6 +81,8 @@ func (c *Characterizer) OptimizeFrom(seeds []genetic.Seed) (*OptimizationResult,
 		GA:           gaRes,
 		Database:     db,
 		Measurements: c.ate.Stats().Measurements - before,
+		CacheHits:    eval.cacheHits(),
+		CacheMisses:  eval.cacheMisses(),
 	}, nil
 }
 

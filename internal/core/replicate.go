@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ate"
 	"repro/internal/dut"
+	"repro/internal/parallel"
 )
 
 // Replication of the Table 1 experiment across seeds. A single run could
@@ -52,25 +53,43 @@ func (r *ReplicationReport) Format() string {
 
 // RunTable1Replicated runs the full Table 1 comparison n times with seeds
 // baseSeed, baseSeed+1, … on fresh typical-corner devices and aggregates.
+// Replicas run concurrently per the flow configuration's Parallelism knob.
 func RunTable1Replicated(baseCfg Table1Config, baseSeed int64, n int) (*ReplicationReport, error) {
+	return RunTable1ReplicatedParallel(baseCfg, baseSeed, n, baseCfg.Flow.Parallelism)
+}
+
+// RunTable1ReplicatedParallel is RunTable1Replicated with an explicit
+// worker count (below 1 selects one per CPU). Every replica owns a fresh
+// device and tester seeded only by its index, so the aggregated report is
+// identical for any worker count.
+func RunTable1ReplicatedParallel(baseCfg Table1Config, baseSeed int64, n, workers int) (*ReplicationReport, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: need at least one replica")
 	}
-	rep := &ReplicationReport{Replicas: n}
-	var perRow [][]Table1Row
-	for i := 0; i < n; i++ {
+	tables := make([]*Table1, n)
+	err := parallel.ForEach(n, workers, func(i int) error {
 		seed := baseSeed + int64(i)*7919
 		cfg := baseCfg
 		cfg.Flow.Seed = seed
 		dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(i, dut.CornerTypical))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tester := ate.New(dev, seed)
 		tab, err := RunTable1(cfg, tester)
 		if err != nil {
-			return nil, fmt.Errorf("core: replica %d: %w", i, err)
+			return fmt.Errorf("core: replica %d: %w", i, err)
 		}
+		tables[i] = tab
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ReplicationReport{Replicas: n}
+	var perRow [][]Table1Row
+	for i, tab := range tables {
 		if perRow == nil {
 			perRow = make([][]Table1Row, len(tab.Rows))
 		}

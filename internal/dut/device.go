@@ -31,6 +31,15 @@ func NewDeviceWithPhysics(geom Geometry, die *Die, phys Physics) (*Device, error
 	return &Device{die: die, mem: mem, phys: phys}, nil
 }
 
+// Clone returns an independent device around the same die: a fresh memory
+// array with the same geometry and the same physics constants. The die is
+// shared — it is read-only during measurement — so a clone measures the
+// same silicon without sharing any mutable state, which is what a parallel
+// worker needs.
+func (d *Device) Clone() (*Device, error) {
+	return NewDeviceWithPhysics(d.mem.Geometry(), d.die, d.phys)
+}
+
 // Die returns the device's die.
 func (d *Device) Die() *Die { return d.die }
 

@@ -155,20 +155,54 @@ func (o *Optimizer) restartIsland(i int, res *Result) {
 	res.Restarts++
 }
 
-func (o *Optimizer) evaluate(pop []*Individual, res *Result) error {
-	for _, ind := range pop {
-		if ind.Evaluated {
-			continue
+// evaluateGeneration measures every unevaluated individual across all
+// islands at once, then ranks each island by fitness. Collecting the whole
+// generation island-major before measuring is what lets a BatchEvaluator
+// fan the work across parallel workers; a plain Evaluator is called
+// serially in the same island-major order.
+func (o *Optimizer) evaluateGeneration(res *Result) error {
+	var pending []*Individual
+	for _, pop := range o.islands {
+		for _, ind := range pop {
+			if !ind.Evaluated {
+				pending = append(pending, ind)
+			}
 		}
-		f, err := o.eval.Fitness(ind.Test())
-		if err != nil {
-			return fmt.Errorf("genetic: evaluating %s: %w", ind.Test().Name, err)
-		}
-		ind.Fitness = f
-		ind.Evaluated = true
-		res.Evaluations++
 	}
-	sort.SliceStable(pop, func(a, b int) bool { return pop[a].Fitness > pop[b].Fitness })
+	switch be := o.eval.(type) {
+	case BatchEvaluator:
+		if len(pending) > 0 {
+			tests := make([]testgen.Test, len(pending))
+			for i, ind := range pending {
+				tests[i] = ind.Test()
+			}
+			fits, err := be.FitnessBatch(tests)
+			if err != nil {
+				return fmt.Errorf("genetic: evaluating generation batch: %w", err)
+			}
+			if len(fits) != len(pending) {
+				return fmt.Errorf("genetic: batch evaluator returned %d fitnesses for %d tests", len(fits), len(pending))
+			}
+			for i, ind := range pending {
+				ind.Fitness = fits[i]
+				ind.Evaluated = true
+			}
+			res.Evaluations += len(pending)
+		}
+	default:
+		for _, ind := range pending {
+			f, err := o.eval.Fitness(ind.Test())
+			if err != nil {
+				return fmt.Errorf("genetic: evaluating %s: %w", ind.Test().Name, err)
+			}
+			ind.Fitness = f
+			ind.Evaluated = true
+			res.Evaluations++
+		}
+	}
+	for _, pop := range o.islands {
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].Fitness > pop[b].Fitness })
+	}
 	return nil
 }
 
@@ -180,10 +214,10 @@ func (o *Optimizer) Run(seeds []Seed) (*Result, error) {
 	var globalBest *Individual
 	for gen := 0; gen < o.cfg.MaxGenerations; gen++ {
 		res.Generations = gen + 1
+		if err := o.evaluateGeneration(res); err != nil {
+			return res, err
+		}
 		for i, pop := range o.islands {
-			if err := o.evaluate(pop, res); err != nil {
-				return res, err
-			}
 			islandBest := pop[0]
 			if o.eraBest[i] == nil || islandBest.Fitness > o.eraBest[i].Fitness {
 				o.eraBest[i] = islandBest.Clone()
@@ -203,13 +237,25 @@ func (o *Optimizer) Run(seeds []Seed) (*Result, error) {
 			break
 		}
 
-		// Ring migration of island bests.
+		// Ring migration of island bests. Collect every migrant before
+		// placing any, so island i+1's emigrant is chosen from its own
+		// population, never from a freshly arrived migrant. A migrant only
+		// displaces the destination's worst individual when it actually
+		// improves on it, and arrives clone-and-invalidated: the clone
+		// never aliases its source island, and the cleared evaluation
+		// re-requests its fitness on the destination (a memoizing evaluator
+		// answers from cache for free).
 		if o.cfg.MigrateEvery > 0 && gen > 0 && gen%o.cfg.MigrateEvery == 0 && o.cfg.Islands > 1 {
+			migrants := make([]*Individual, o.cfg.Islands)
 			for i := range o.islands {
-				from := o.islands[i][0]
-				dst := o.islands[(i+1)%o.cfg.Islands]
-				migrant := from.Clone()
-				dst[len(dst)-1] = migrant
+				migrants[(i+1)%o.cfg.Islands] = o.islands[i][0].Clone()
+			}
+			for i, m := range migrants {
+				dst := o.islands[i]
+				if m.Fitness > dst[len(dst)-1].Fitness {
+					m.Evaluated = false
+					dst[len(dst)-1] = m
+				}
 			}
 		}
 
@@ -221,7 +267,15 @@ func (o *Optimizer) Run(seeds []Seed) (*Result, error) {
 			}
 			next := make([]*Individual, 0, o.cfg.PopSize)
 			for e := 0; e < o.cfg.Elite && e < len(pop); e++ {
-				next = append(next, pop[e]) // elites keep their evaluation
+				// Clone-and-invalidate: the clone keeps the elite from
+				// aliasing the old generation (the batch evaluator hands
+				// individuals to concurrent workers and must own each one
+				// exclusively); invalidating re-requests its fitness next
+				// generation, which a memoizing evaluator answers from
+				// cache for free while a noise-resampling one re-draws it.
+				elite := pop[e].Clone()
+				elite.Evaluated = false
+				next = append(next, elite)
 			}
 			for len(next) < o.cfg.PopSize {
 				p1 := o.ops.Tournament(pop, o.cfg.TournamentK)

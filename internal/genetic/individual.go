@@ -57,6 +57,18 @@ type Evaluator interface {
 	Fitness(t testgen.Test) (float64, error)
 }
 
+// BatchEvaluator is an Evaluator that can measure a whole generation's
+// worth of tests at once. When the optimizer's evaluator implements it,
+// every unevaluated individual of a generation — all islands — is handed
+// over in a single FitnessBatch call, which is where the parallel
+// measurement engine fans the tests across workers. The returned slice
+// must hold one fitness per test, index-aligned, and must not depend on
+// how the implementation schedules the measurements.
+type BatchEvaluator interface {
+	Evaluator
+	FitnessBatch(tests []testgen.Test) ([]float64, error)
+}
+
 // EvaluatorFunc adapts a function to the Evaluator interface.
 type EvaluatorFunc func(t testgen.Test) (float64, error)
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Ensemble is the paper's NN voting machine (§5, learning step 1):
@@ -20,16 +22,25 @@ type Ensemble struct {
 // of the dataset. Layer sizes apply to every member; seeds derive from the
 // base seed so runs are reproducible.
 func NewEnsemble(seed int64, n int, sizes []int, data Dataset, cfg TrainConfig) (*Ensemble, []TrainReport, error) {
+	return NewEnsembleParallel(seed, n, sizes, data, cfg, 1)
+}
+
+// NewEnsembleParallel is NewEnsemble with member training fanned across the
+// given number of workers (below 1 selects one per CPU). Every member's
+// initialization, bootstrap resample, split and training derive solely from
+// its own member seed and read the shared dataset read-only, so the trained
+// weights are bit-identical to the serial ones for any worker count.
+func NewEnsembleParallel(seed int64, n int, sizes []int, data Dataset, cfg TrainConfig, workers int) (*Ensemble, []TrainReport, error) {
 	if n <= 0 {
 		return nil, nil, fmt.Errorf("neural: ensemble size %d must be positive", n)
 	}
-	e := &Ensemble{}
-	reports := make([]TrainReport, 0, n)
-	for i := 0; i < n; i++ {
+	members := make([]*Network, n)
+	reports := make([]TrainReport, n)
+	err := parallel.ForEach(n, workers, func(i int) error {
 		memberSeed := seed + int64(i)*7919
 		net, err := New(memberSeed, sizes...)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		sub := data.Bootstrap(memberSeed)
 		train, val := sub.Split(memberSeed, 0.85)
@@ -37,12 +48,16 @@ func NewEnsemble(seed int64, n int, sizes []int, data Dataset, cfg TrainConfig) 
 		memberCfg.Seed = memberSeed
 		rep, err := net.Train(train, val, memberCfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("neural: training ensemble member %d: %w", i, err)
+			return fmt.Errorf("neural: training ensemble member %d: %w", i, err)
 		}
-		e.members = append(e.members, net)
-		reports = append(reports, rep)
+		members[i] = net
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return e, reports, nil
+	return &Ensemble{members: members}, reports, nil
 }
 
 // FromNetworks wraps already-trained networks into an ensemble (weight-file

@@ -1,0 +1,74 @@
+package neural
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEnsembleParallelBitIdenticalToSerial(t *testing.T) {
+	data := syntheticRegression(47, 160)
+	cfg := DefaultTrainConfig(47)
+	cfg.Epochs = 40
+
+	serialize := func(e *Ensemble) string {
+		var b bytes.Buffer
+		if err := e.Save(&b, nil); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	serial, serialReports, err := NewEnsembleParallel(47, 4, []int{3, 8, 1}, data, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialize(serial)
+
+	for _, workers := range []int{2, 8} {
+		e, reports, err := NewEnsembleParallel(47, 4, []int{3, 8, 1}, data, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := serialize(e); got != want {
+			t.Errorf("workers=%d trained weights differ from serial", workers)
+		}
+		if len(reports) != len(serialReports) {
+			t.Fatalf("workers=%d reports = %d, want %d", workers, len(reports), len(serialReports))
+		}
+		for i := range reports {
+			if reports[i].TrainErr != serialReports[i].TrainErr ||
+				reports[i].ValErr != serialReports[i].ValErr ||
+				reports[i].Epochs != serialReports[i].Epochs {
+				t.Errorf("workers=%d member %d training report differs: %+v vs %+v",
+					workers, i, reports[i], serialReports[i])
+			}
+		}
+	}
+}
+
+func TestEnsembleParallelMatchesLegacyNewEnsemble(t *testing.T) {
+	// NewEnsemble is the serial special case — the parallel constructor with
+	// any worker count must reproduce it exactly.
+	data := syntheticRegression(53, 120)
+	cfg := DefaultTrainConfig(53)
+	cfg.Epochs = 30
+
+	legacy, _, err := NewEnsemble(53, 3, []int{3, 6, 1}, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := NewEnsembleParallel(53, 3, []int{3, 6, 1}, data, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := legacy.Save(&a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Save(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("parallel ensemble weights differ from NewEnsemble")
+	}
+}

@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MemoCache memoizes scalar measurement results keyed by a 64-bit
+// structural fingerprint — the substrate of the "never re-measure an
+// unchanged test" rule. The GA fitness engine keys it with
+// testgen.Test.Fingerprint so elites, clones and migrants that reappear in
+// later generations reuse their measured fitness instead of spending ATE
+// measurements again.
+//
+// Reads and writes are safe from any goroutine. Determinism callers care
+// about: resolve lookups and insert results at deterministic points (for
+// batch engines, before dispatch and after the batch completes in task
+// order), not concurrently from racing workers.
+type MemoCache struct {
+	mu   sync.RWMutex
+	m    map[uint64]float64
+	hits atomic.Int64
+	miss atomic.Int64
+}
+
+// NewMemoCache returns an empty cache.
+func NewMemoCache() *MemoCache {
+	return &MemoCache{m: make(map[uint64]float64)}
+}
+
+// Get returns the memoized value for key, counting a hit or a miss.
+func (c *MemoCache) Get(key uint64) (float64, bool) {
+	c.mu.RLock()
+	v, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.miss.Add(1)
+	}
+	return v, ok
+}
+
+// Put memoizes value under key, overwriting any previous entry.
+func (c *MemoCache) Put(key uint64, value float64) {
+	c.mu.Lock()
+	c.m[key] = value
+	c.mu.Unlock()
+}
+
+// Len returns the number of memoized entries.
+func (c *MemoCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Hits returns how many Get calls found an entry.
+func (c *MemoCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns how many Get calls found nothing.
+func (c *MemoCache) Misses() int64 { return c.miss.Load() }

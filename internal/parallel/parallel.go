@@ -1,0 +1,115 @@
+// Package parallel is the shared deterministic parallel-execution substrate
+// of the characterization system. Every hot loop that fans measurement or
+// training work across goroutines — GA fitness batches, ensemble member
+// training, shmoo sweeps, lot screens, Table-1 replication — runs on the
+// bounded worker pool defined here.
+//
+// The determinism contract: work is identified by a task index, results are
+// written into index-addressed slots, and any per-task randomness derives
+// from a seed of the form baseSeed + taskIndex. Worker-owned resources
+// (forked tester insertions) are rewound to a task-hermetic state at the
+// start of every task, so the output is bit-identical regardless of the
+// worker count or the scheduling order — workers == 1 executes the very
+// same task code inline, without spawning goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: values below 1 select one worker per
+// available CPU (runtime.GOMAXPROCS), anything else is taken literally.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Bound resolves the knob and caps it at the task count, returning the
+// number of workers Run will actually start.
+func Bound(workers, tasks int) int {
+	w := Workers(workers)
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes tasks 0..n-1 across at most Bound(workers, n) goroutines.
+// Each worker constructs its private resource once via newWorker (a forked
+// tester insertion, a scratch buffer, …) and then pulls task indices from a
+// shared counter. Task functions must write their outputs into slots
+// addressed by the task index and must not touch another worker's resource.
+//
+// Every task runs even when some fail; afterwards the lowest-index task
+// error (or, before that, the lowest-worker construction error) is
+// returned, so the reported error does not depend on scheduling. With one
+// worker the tasks run inline on the calling goroutine in index order.
+func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	nw := Bound(workers, n)
+	if nw == 1 {
+		wk, err := newWorker(0)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := task(wk, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	taskErrs := make([]error, n)
+	workerErrs := make([]error, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk, err := newWorker(w)
+			if err != nil {
+				workerErrs[w] = err
+				return
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				taskErrs[i] = task(wk, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, err := range workerErrs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, err := range taskErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the bounded pool, for tasks
+// that need no worker-owned resource. The same determinism contract as Run
+// applies.
+func ForEach(n, workers int, fn func(i int) error) error {
+	return Run(n, workers, func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) error { return fn(i) })
+}

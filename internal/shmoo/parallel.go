@@ -1,0 +1,123 @@
+package shmoo
+
+import (
+	"fmt"
+
+	"repro/internal/ate"
+	"repro/internal/parallel"
+	"repro/internal/testgen"
+)
+
+// Parallel sweeps. Every task (a whole test for the overlay fan-out, one
+// grid row for the single-test fan-out) runs on a forked tester insertion
+// reseeded with baseSeed + taskIndex, collects pass/fail cells into a
+// private grid, and the grids merge into the overlay in task order — so the
+// plot and the merged cost counters are bit-identical for any worker count.
+// Unlike the serial AddTest, where one tester carries noise-RNG and thermal
+// state across the whole overlay, each parallel task is hermetic; serial
+// (workers = 1) and parallel runs of *these* functions agree exactly.
+
+// forkPoint selects which measurement a parallel sweep performs on the
+// forked insertion.
+type forkPoint func(wk *ate.ATE) PointFunc
+
+// AddTestsParallel sweeps every test over the T_DQ strobe grid (the fig. 8
+// axes) across the given number of workers (below 1 selects one per CPU)
+// and accumulates them into the overlay in test order.
+func (p *Plot) AddTestsParallel(a *ate.ATE, tests []testgen.Test, baseSeed int64, workers int) error {
+	return p.addTestsParallel(a, tests, baseSeed, workers, func(wk *ate.ATE) PointFunc { return wk.MeasureShmooPoint })
+}
+
+// AddFmaxTestsParallel sweeps every test over a clock-vs-supply grid across
+// workers — the parallel form of AddFmaxTest.
+func (p *Plot) AddFmaxTestsParallel(a *ate.ATE, tests []testgen.Test, baseSeed int64, workers int) error {
+	return p.addTestsParallel(a, tests, baseSeed, workers, func(wk *ate.ATE) PointFunc { return wk.MeasureFmaxShmooPoint })
+}
+
+func (p *Plot) addTestsParallel(a *ate.ATE, tests []testgen.Test, baseSeed int64, workers int, point forkPoint) error {
+	grids := make([][]bool, len(tests))
+	costs := make([]ate.Stats, len(tests))
+	err := parallel.Run(len(tests), workers, func(int) (*ate.ATE, error) {
+		return a.Fork(baseSeed)
+	}, func(wk *ate.ATE, i int) error {
+		wk.Reseed(baseSeed + int64(i))
+		cells, err := p.sweepGrid(point(wk), tests[i], 0, p.Y.Steps)
+		if err != nil {
+			return err
+		}
+		grids[i] = cells
+		costs[i] = wk.Stats()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, cells := range grids {
+		a.AddStats(costs[i])
+		p.merge(cells)
+		p.Tests++
+	}
+	return nil
+}
+
+// AddTestParallel sweeps one test over the grid with the rows fanned across
+// workers — the low-latency path when a single plot is on the critical
+// path. Each row reseeds with baseSeed + rowIndex; note every row re-loads
+// the pattern on its insertion, so Profiles cost grows with Y.Steps
+// compared to the one load of the serial AddTest.
+func (p *Plot) AddTestParallel(a *ate.ATE, t testgen.Test, baseSeed int64, workers int) error {
+	rows := make([][]bool, p.Y.Steps)
+	costs := make([]ate.Stats, p.Y.Steps)
+	err := parallel.Run(p.Y.Steps, workers, func(int) (*ate.ATE, error) {
+		return a.Fork(baseSeed)
+	}, func(wk *ate.ATE, yi int) error {
+		wk.Reseed(baseSeed + int64(yi))
+		cells, err := p.sweepGrid(wk.MeasureShmooPoint, t, yi, yi+1)
+		if err != nil {
+			return err
+		}
+		rows[yi] = cells
+		costs[yi] = wk.Stats()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for yi, cells := range rows {
+		a.AddStats(costs[yi])
+		for xi := 0; xi < p.X.Steps; xi++ {
+			if cells[yi*p.X.Steps+xi] {
+				p.passCount[yi*p.X.Steps+xi]++
+			}
+		}
+	}
+	p.Tests++
+	return nil
+}
+
+// sweepGrid measures rows [yLo, yHi) of the grid for one test into a
+// full-size cell slice.
+func (p *Plot) sweepGrid(point PointFunc, t testgen.Test, yLo, yHi int) ([]bool, error) {
+	cells := make([]bool, p.X.Steps*p.Y.Steps)
+	for yi := yLo; yi < yHi; yi++ {
+		vdd := p.Y.Value(yi)
+		for xi := 0; xi < p.X.Steps; xi++ {
+			x := p.X.Value(xi)
+			ok, err := point(t, vdd, x)
+			if err != nil {
+				return nil, fmt.Errorf("shmoo: %s at (%g, %g): %w", t.Name, x, vdd, err)
+			}
+			cells[yi*p.X.Steps+xi] = ok
+		}
+	}
+	return cells, nil
+}
+
+// merge accumulates a full grid of one test's outcomes into the overlay.
+func (p *Plot) merge(cells []bool) {
+	for c, ok := range cells {
+		if ok {
+			p.passCount[c]++
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package shmoo
+
+import (
+	"testing"
+)
+
+func smallAxes() (Axis, Axis) {
+	x := Axis{Label: "T_DQ (ns)", Min: 20, Max: 32, Steps: 13}
+	y := Axis{Label: "VDD (V)", Min: 1.5, Max: 2.1, Steps: 7}
+	return x, y
+}
+
+func TestAddTestsParallelDeterministicAcrossWorkers(t *testing.T) {
+	tester, gen := rig(t)
+	tester.NoiseFraction = 0.25 // noise on: the RNG discipline is the hard part
+	tests := gen.Batch(6)
+	x, y := smallAxes()
+
+	render := func(workers int) (string, int64) {
+		p, err := NewPlot(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fork, err := tester.Fork(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddTestsParallel(fork, tests, 900, workers); err != nil {
+			t.Fatal(err)
+		}
+		return p.Render(), fork.Stats().Measurements
+	}
+
+	serial, serialCost := render(1)
+	for _, workers := range []int{2, 8} {
+		got, cost := render(workers)
+		if got != serial {
+			t.Errorf("workers=%d grid differs from serial:\n%s\nvs\n%s", workers, got, serial)
+		}
+		if cost != serialCost {
+			t.Errorf("workers=%d merged %d measurements, serial %d", workers, cost, serialCost)
+		}
+	}
+}
+
+func TestAddTestParallelDeterministicAcrossWorkers(t *testing.T) {
+	tester, gen := rig(t)
+	tester.NoiseFraction = 0.25
+	tt := gen.Next()
+	x, y := smallAxes()
+
+	render := func(workers int) string {
+		p, err := NewPlot(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fork, err := tester.Fork(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddTestParallel(fork, tt, 901, workers); err != nil {
+			t.Fatal(err)
+		}
+		if p.Tests != 1 {
+			t.Fatalf("Tests = %d after one AddTestParallel", p.Tests)
+		}
+		return p.Render()
+	}
+
+	serial := render(1)
+	for _, workers := range []int{3, 8} {
+		if got := render(workers); got != serial {
+			t.Errorf("workers=%d row-parallel grid differs from serial:\n%s\nvs\n%s", workers, got, serial)
+		}
+	}
+}
+
+func TestParallelOverlayMatchesNoiselessSerial(t *testing.T) {
+	// With noise disabled the per-test hermetic semantics cannot differ
+	// from the shared-tester serial sweep (thermal off too): the parallel
+	// overlay must equal the plain AddTest overlay cell for cell.
+	tester, gen := rig(t) // rig sets NoiseFraction = 0, no Heating
+	tests := gen.Batch(4)
+	x, y := smallAxes()
+
+	serial, err := NewPlot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range tests {
+		if err := serial.AddTest(tester, tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	par, err := NewPlot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.AddTestsParallel(tester, tests, 902, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.Render(), serial.Render(); got != want {
+		t.Errorf("parallel overlay differs from serial:\n%s\nvs\n%s", got, want)
+	}
+}

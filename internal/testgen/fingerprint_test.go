@@ -1,0 +1,78 @@
+package testgen
+
+import "testing"
+
+func fpTest() Test {
+	return Test{
+		Name: "fp-sample",
+		Seq: Sequence{
+			{Op: OpWrite, Addr: 4, Data: 0xDEADBEEF},
+			{Op: OpRead, Addr: 4},
+			{Op: OpNop},
+		},
+		Cond: NominalConditions(),
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fpTest(), fpTest()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical tests hash differently")
+	}
+	if a.Clone().Fingerprint() != a.Fingerprint() {
+		t.Error("clone hashes differently from original")
+	}
+}
+
+func TestFingerprintIgnoresName(t *testing.T) {
+	a, b := fpTest(), fpTest()
+	b.Name = "something-else"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on the test name")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpTest()
+	mutations := map[string]func(*Test){
+		"op":        func(tt *Test) { tt.Seq[0].Op = OpRead },
+		"addr":      func(tt *Test) { tt.Seq[1].Addr = 5 },
+		"data":      func(tt *Test) { tt.Seq[0].Data = 0xDEADBEF0 },
+		"truncated": func(tt *Test) { tt.Seq = tt.Seq[:2] },
+		"vdd":       func(tt *Test) { tt.Cond.VddV += 1e-9 },
+		"temp":      func(tt *Test) { tt.Cond.TempC = 26 },
+		"clock":     func(tt *Test) { tt.Cond.ClockMHz = 101 },
+	}
+	for name, mutate := range mutations {
+		tt := base.Clone()
+		mutate(&tt)
+		if tt.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s mutation did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintLengthFraming(t *testing.T) {
+	// A NOP-padded sequence must not collide with its unpadded form even
+	// though OpNop contributes the same bytes per vector.
+	a := Test{Seq: Sequence{{Op: OpNop}}, Cond: NominalConditions()}
+	b := Test{Seq: Sequence{{Op: OpNop}, {Op: OpNop}}, Cond: NominalConditions()}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("sequences of different length collide")
+	}
+}
+
+func TestFingerprintRandomCollisionFree(t *testing.T) {
+	// 500 generator tests must produce 500 distinct fingerprints — a
+	// collision here would silently alias two individuals in the GA cache.
+	gen := NewRandomGenerator(7, 1024, DefaultConditionLimits())
+	seen := make(map[uint64]string, 500)
+	for i := 0; i < 500; i++ {
+		tt := gen.Next()
+		fp := tt.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision between %s and %s", prev, tt.Name)
+		}
+		seen[fp] = tt.Name
+	}
+}
