@@ -1,7 +1,8 @@
-.PHONY: check test bench bench-parallel
+.PHONY: check test bench bench-parallel bench-obs
 
-# The full CI gate: vet + build + race-enabled tests + the short benchmark
-# pass that writes BENCH_parallel.json.
+# The full CI gate: vet + build + race-enabled tests + the telemetry smoke
+# run + the short benchmark passes that write BENCH_parallel.json and
+# BENCH_obs.json.
 check:
 	./ci.sh
 
@@ -15,3 +16,8 @@ bench:
 # The worker-ladder benchmarks for the GA and shmoo hot paths.
 bench-parallel:
 	go test -run '^$$' -bench 'Parallel|MeasurementCache' -benchtime 1x -timeout 60m .
+
+# The observability benchmarks: instrumented-flow cost vs the telemetry-off
+# baseline.
+bench-obs:
+	go test -run '^$$' -bench 'Observability' -benchtime 1x -timeout 60m .

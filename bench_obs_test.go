@@ -1,0 +1,87 @@
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/testgen"
+)
+
+// --- Observability ----------------------------------------------------------
+
+// obsConfig is the telemetry benchmark workload: the fig. 5 flow at a size
+// small enough for CI but large enough that the memo-cache sees GA
+// duplicates.
+func obsConfig(seed int64) core.Config {
+	cfg := core.DefaultConfig(seed)
+	cfg.LearnTests = 120
+	cfg.EnsembleSize = 2
+	cfg.HiddenLayers = []int{12}
+	cfg.CandidatePool = 300
+	cfg.SeedCount = 10
+	cfg.GA.PopSize = 10
+	cfg.GA.Islands = 2
+	cfg.GA.MaxGenerations = 10
+	nominal := testgen.NominalConditions()
+	cfg.FixedConditions = &nominal
+	return cfg
+}
+
+// BenchmarkObservabilityInstrumentedFlow runs the fig. 5 flow with full
+// telemetry (tracer + metrics + report) live, reporting the run's cache
+// hit rate and ATE measurement count alongside ns/op — the numbers
+// BENCH_obs.json tracks across PRs.
+func BenchmarkObservabilityInstrumentedFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tel := telemetry.New("bench-obs", telemetry.NewTracer(io.Discard))
+		cfg := obsConfig(78)
+		cfg.Parallelism = 1
+		cfg.Telemetry = tel
+		tester, _ := newRig(b, 78)
+		char, err := core.NewCharacterizer(cfg, tester)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := char.Learn(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := char.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+		rep := tel.Report(telemetry.Cost{Measurements: tester.Stats().Measurements})
+		if err := tel.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.CacheHitRate(), "cache_hit_rate")
+			b.ReportMetric(float64(rep.Total.Measurements), "measurements")
+			b.ReportMetric(float64(rep.MeasurementsSaved()), "measurements_saved")
+		}
+	}
+}
+
+// BenchmarkObservabilityOverhead measures the same flow with telemetry
+// disabled (nil handle, every hook a no-op) so the instrumentation cost
+// shows up as the delta against BenchmarkObservabilityInstrumentedFlow.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := obsConfig(78)
+		cfg.Parallelism = 1
+		tester, _ := newRig(b, 78)
+		char, err := core.NewCharacterizer(cfg, tester)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := char.Learn(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := char.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(tester.Stats().Measurements), "measurements")
+		}
+	}
+}

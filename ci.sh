@@ -1,8 +1,9 @@
 #!/bin/sh
-# CI gate for the repo: static checks, the race-enabled test suite, and a
-# short benchmark pass that records the perf trajectory in
-# BENCH_parallel.json (ns/op and ATE measurement counts for the fig. 5
-# optimization scheme and the Table 1 comparison).
+# CI gate for the repo: static checks, the race-enabled test suite, a
+# telemetry-enabled smoke run (with a trace-determinism diff), and short
+# benchmark passes that record the perf trajectory in BENCH_parallel.json
+# (fig. 5 + Table 1 ns/op and measurement counts) and BENCH_obs.json
+# (instrumented-flow ns/op, cache hit rate, measurements per op).
 set -eu
 cd "$(dirname "$0")"
 
@@ -12,6 +13,23 @@ echo "== go build =="
 go build ./...
 echo "== go test -race =="
 go test -race ./...
+
+echo "== telemetry smoke run =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+go run ./cmd/characterize -learn-tests 20 -parallel 1 -report \
+	-trace "$SMOKE_DIR/p1.jsonl" -metrics "$SMOKE_DIR/metrics.json" > "$SMOKE_DIR/report.txt"
+go run ./cmd/characterize -learn-tests 20 -parallel 4 \
+	-trace "$SMOKE_DIR/p4.jsonl" > /dev/null
+cmp "$SMOKE_DIR/p1.jsonl" "$SMOKE_DIR/p4.jsonl" || {
+	echo "FAIL: telemetry trace differs between -parallel 1 and -parallel 4" >&2
+	exit 1
+}
+grep -q "run report: characterize" "$SMOKE_DIR/report.txt" || {
+	echo "FAIL: smoke run produced no run report" >&2
+	exit 1
+}
+echo "trace deterministic across worker counts ($(wc -l < "$SMOKE_DIR/p1.jsonl") events); report and metrics written"
 
 echo "== benchmarks =="
 BENCH_OUT=$(go test -run '^$' \
@@ -34,3 +52,27 @@ printf '%s\n' "$BENCH_OUT" | awk '
 ' > BENCH_parallel.json
 echo "wrote BENCH_parallel.json:"
 cat BENCH_parallel.json
+
+echo "== observability benchmark =="
+OBS_OUT=$(go test -run '^$' \
+	-bench '^BenchmarkObservabilityInstrumentedFlow$' \
+	-benchtime 1x -timeout 60m .)
+printf '%s\n' "$OBS_OUT"
+printf '%s\n' "$OBS_OUT" | awk '
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		ns = "null"; meas = "null"; rate = "null"; saved = "null"
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op") ns = $(i - 1)
+			if ($i == "measurements") meas = $(i - 1)
+			if ($i == "cache_hit_rate") rate = $(i - 1)
+			if ($i == "measurements_saved") saved = $(i - 1)
+		}
+		if (n++) printf ",\n"
+		printf "  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"cache_hit_rate\": %s, \"ate_measurements\": %s, \"measurements_saved\": %s}", name, ns, rate, meas, saved
+	}
+	BEGIN { printf "[\n" }
+	END   { printf "\n]\n" }
+' > BENCH_obs.json
+echo "wrote BENCH_obs.json:"
+cat BENCH_obs.json

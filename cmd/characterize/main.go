@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/ate"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dut"
 	"repro/internal/neural"
@@ -29,8 +30,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("characterize: ")
 
+	common := cli.Register(nil)
 	var (
-		seed       = flag.Int64("seed", 1, "random seed for the whole flow")
 		paramName  = flag.String("param", "tdq", "parameter to characterize: tdq, fmax, vddmin")
 		table1     = flag.Bool("table1", false, "reproduce the paper's Table 1 comparison")
 		learnTests = flag.Int("learn-tests", 300, "number of measured tests in the learning phase")
@@ -39,11 +40,9 @@ func main() {
 		weightsOut = flag.String("weights", "", "write the trained NN weight file here")
 		dbOut      = flag.String("db", "", "write the worst-case test database here")
 		patternOut = flag.String("patterns", "", "write the worst-case tests as a text vector file here")
-		traceOut   = flag.String("trace", "", "write the worst test's per-cycle trace as CSV here (with PDN droop analysis)")
+		traceOut   = flag.String("cycle-trace", "", "write the worst test's per-cycle trace as CSV here (with PDN droop analysis)")
 		minimize   = flag.Bool("minimize", false, "minimize the worst-case test for failure analysis")
 		evolveCond = flag.Bool("evolve-conditions", false, "let the GA evolve test conditions (default: fixed at nominal)")
-		parallel   = flag.Int("parallel", 0, "worker insertions for GA fitness, ensemble training and replication (0 = one per CPU, 1 = serial; results are identical either way)")
-		noCache    = flag.Bool("no-cache", false, "disable the measurement memo-cache (re-measure structurally identical tests)")
 	)
 	flag.Parse()
 
@@ -60,13 +59,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tester := ate.New(dev, *seed)
+	tester := ate.New(dev, common.Seed)
 
-	cfg := core.DefaultConfig(*seed)
+	runName := "characterize"
+	if *table1 {
+		runName = "table1"
+	}
+	tel, err := common.StartTelemetry(runName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig(common.Seed)
 	cfg.Parameter = param
 	cfg.LearnTests = *learnTests
-	cfg.Parallelism = *parallel
-	cfg.DisableMeasurementCache = *noCache
+	cfg.Parallelism = common.Parallel
+	cfg.DisableMeasurementCache = common.NoCache
+	cfg.Telemetry = tel
 	if !*evolveCond {
 		nominal := testgen.NominalConditions()
 		cfg.FixedConditions = &nominal
@@ -79,6 +88,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(tab.Format())
+		cli.PrintCacheSummary(os.Stdout, tab.CacheHits, tab.CacheMisses)
+		if err := common.FinishTelemetry(os.Stdout, tel, tab.Stats); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -99,7 +112,7 @@ func main() {
 	fmt.Printf("  SUTP cost: first search %d measurements, follow-up mean %.1f\n",
 		stats.FirstSearchCost, stats.FollowupSearchCost)
 	_, isMin := param.SpecValue()
-	if iv, err := learned.DSV.WorstCaseInterval(isMin, 0.05, 1000, *seed); err == nil {
+	if iv, err := learned.DSV.WorstCaseInterval(isMin, 0.05, 1000, common.Seed); err == nil {
 		fmt.Printf("  worst trip bootstrap 95%% interval: [%.3f, %.3f] %s (observed %.3f)\n",
 			iv.Lo, iv.Hi, param.Unit(), iv.Observed)
 	}
@@ -109,7 +122,7 @@ func main() {
 			i, rep.Epochs, rep.TrainErr, rep.ValErr, rep.Learned, rep.Generalized)
 	}
 
-	imps, err := neural.PermutationImportance(learned.Ensemble, learned.Dataset, *seed, 3)
+	imps, err := neural.PermutationImportance(learned.Ensemble, learned.Dataset, common.Seed, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,9 +154,8 @@ func main() {
 	}
 	fmt.Printf("  GA: %d generations, %d evaluations, %d restarts, %d ATE measurements\n",
 		opt.GA.Generations, opt.GA.Evaluations, opt.GA.Restarts, opt.Measurements)
-	if !*noCache {
-		fmt.Printf("  measurement cache: %d hits, %d misses\n", opt.CacheHits, opt.CacheMisses)
-	}
+	hits, misses := char.CacheStats()
+	cli.PrintCacheSummary(os.Stdout, hits, misses)
 	fmt.Printf("  worst case: %s  WCR %.3f (%s)  %s = %.3f %s\n",
 		best.Test.Name, best.WCR, best.Class, param, best.Value, param.Unit())
 	if best.Class == wcr.Weakness || best.Class == wcr.Fail {
@@ -235,6 +247,9 @@ func main() {
 	s := tester.Stats()
 	fmt.Printf("Tester totals: %d measurements, %d vectors, %.2f s simulated test time\n",
 		s.Measurements, s.VectorsApplied, s.TestTimeSec)
+	if err := common.FinishTelemetry(os.Stdout, tel, s); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func parseParam(s string) (ate.Parameter, error) {

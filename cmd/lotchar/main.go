@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/ate"
 	"repro/internal/charspec"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dut"
 	"repro/internal/testgen"
@@ -26,14 +28,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lotchar: ")
 
+	common := cli.Register(nil)
 	var (
-		seed      = flag.Int64("seed", 1, "random seed")
 		dbPath    = flag.String("db", "", "worst-case database from 'characterize -db' (optional)")
 		dies      = flag.Int("dies", 20, "number of dies in the sample lot")
 		guardband = flag.Float64("guardband", 0.05, "spec extraction guardband fraction")
-		sites     = flag.Int("sites", 4, "concurrent tester sites for the lot screen")
 	)
 	flag.Parse()
+	seed, sites := &common.Seed, &common.Parallel
+
+	tel, telErr := common.StartTelemetry("lotchar")
+	if telErr != nil {
+		log.Fatal(telErr)
+	}
 
 	geom := dut.DefaultGeometry()
 	cond := testgen.NominalConditions()
@@ -77,7 +84,7 @@ func main() {
 
 	// --- Lot screen -------------------------------------------------------
 	lot := dut.NewDieLot(*seed, *dies)
-	rep, err := core.ScreenLotParallel(ate.TDQ, tests, lot, geom, *seed, *sites)
+	rep, err := core.ScreenLotParallelTel(ate.TDQ, tests, lot, geom, *seed, *sites, tel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,11 +106,19 @@ func main() {
 	tester := ate.New(dev, *seed+999)
 	cfg := charspec.DefaultConfig()
 	cfg.Guardband = *guardband
+	ph := tel.StartPhase("spec-extract")
 	spec, err := charspec.Extract(tester, ate.TDQ, tests, cfg)
+	ph.End(cli.Cost(tester.Stats()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
 	fmt.Printf("environmental sweep on the worst die (#%d, %s):\n", worstDie.ID, worstDie.Corner)
 	fmt.Print(spec.Format())
+
+	total := rep.Stats
+	total.Add(tester.Stats())
+	if err := common.FinishTelemetry(os.Stdout, tel, total); err != nil {
+		log.Fatal(err)
+	}
 }

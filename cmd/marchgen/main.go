@@ -18,6 +18,9 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/ate"
+	"repro/internal/cli"
+	"repro/internal/telemetry"
 	"repro/internal/testgen"
 )
 
@@ -25,6 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("marchgen: ")
 
+	common := cli.Register(nil)
 	var (
 		list     = flag.Bool("list", false, "list the built-in algorithm library")
 		algName  = flag.String("alg", "", "library algorithm to expand")
@@ -52,8 +56,12 @@ func main() {
 		return
 	}
 
+	tel, err := common.StartTelemetry("marchgen")
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var alg testgen.MarchAlgorithm
-	var err error
 	switch {
 	case *notation != "":
 		alg, err = testgen.ParseMarch(*name, *notation)
@@ -87,4 +95,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "marchgen: %s expanded to %d vectors (%dN over %d words)\n",
 		alg.Name, len(test.Seq), alg.Complexity(), *words)
+
+	tel.StartPhase("march-expand").End(telemetry.Cost{Vectors: int64(len(test.Seq))})
+	if err := common.FinishTelemetry(os.Stdout, tel, ate.Stats{VectorsApplied: int64(len(test.Seq))}); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -13,11 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/ate"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dut"
 	"repro/internal/shmoo"
+	"repro/internal/telemetry"
 	"repro/internal/testgen"
 )
 
@@ -25,23 +28,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("shmoo: ")
 
+	common := cli.Register(nil)
 	var (
-		seed   = flag.Int64("seed", 1, "random seed")
 		tests  = flag.Int("tests", 1000, "number of random tests to overlay")
 		dbPath = flag.String("db", "", "also overlay the tests of this worst-case database")
 		vddMin = flag.Float64("vdd-min", 1.4, "Y axis lower bound (V)")
 		vddMax = flag.Float64("vdd-max", 2.2, "Y axis upper bound (V)")
 		xMin   = flag.Float64("tdq-min", 18, "X axis lower bound (ns)")
 		xMax   = flag.Float64("tdq-max", 36, "X axis upper bound (ns)")
-		par    = flag.Int("parallel", 0, "worker insertions sweeping the overlay (0 = one per CPU, 1 = serial; the grid is identical either way)")
 	)
 	flag.Parse()
+	seed, par := &common.Seed, &common.Parallel
 
 	dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
 	if err != nil {
 		log.Fatal(err)
 	}
 	tester := ate.New(dev, *seed)
+	tel, err := common.StartTelemetry("shmoo")
+	if err != nil {
+		log.Fatal(err)
+	}
 	cond := testgen.NominalConditions()
 	gen := testgen.NewRandomGenerator(*seed+1, dev.Geometry().Words(), testgen.DefaultConditionLimits())
 	gen.FixedConditions = &cond
@@ -66,9 +73,18 @@ func main() {
 		}
 		fmt.Printf("overlaying %d database tests on top of %d random tests\n", db.Len(), *tests)
 	}
+	ph := tel.StartPhase("shmoo-overlay")
+	sweep := ph.Span()
+	plot.OnTest = func(index int, cost ate.Stats) {
+		sweep.Event("test", telemetry.I("i", index),
+			telemetry.I("measurements", cost.Measurements),
+			telemetry.I("vectors", cost.VectorsApplied))
+	}
 	if err := plot.AddTestsParallel(tester, batch, *seed, *par); err != nil {
 		log.Fatal(err)
 	}
+	plot.OnTest = nil
+	ph.End(cli.Cost(tester.Stats()))
 
 	fmt.Print(plot.Render())
 	fmt.Printf("worst-case trip point variation: %.2f ns\n", plot.WorstCaseVariation())
@@ -78,4 +94,7 @@ func main() {
 	}
 	s := tester.Stats()
 	fmt.Printf("tester: %d measurements, %.1f s simulated test time\n", s.Measurements, s.TestTimeSec)
+	if err := common.FinishTelemetry(os.Stdout, tel, s); err != nil {
+		log.Fatal(err)
+	}
 }

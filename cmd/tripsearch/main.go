@@ -14,11 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/ate"
+	"repro/internal/cli"
 	"repro/internal/dut"
 	"repro/internal/parallel"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 	"repro/internal/testgen"
 	"repro/internal/trippoint"
 )
@@ -27,14 +30,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tripsearch: ")
 
+	common := cli.Register(nil)
 	var (
-		seed      = flag.Int64("seed", 1, "random seed")
 		tests     = flag.Int("tests", 50, "number of random tests per algorithm")
 		paramName = flag.String("param", "tdq", "parameter: tdq, fmax, vddmin")
 		directed  = flag.Bool("directed", false, "also measure the directed baseline suite (March + stress patterns)")
-		par       = flag.Int("parallel", 0, "worker insertions, one per search algorithm (0 = one per CPU, 1 = serial; identical results either way)")
 	)
 	flag.Parse()
+	seed, par := &common.Seed, &common.Parallel
 
 	var param ate.Parameter
 	switch *paramName {
@@ -53,6 +56,10 @@ func main() {
 		log.Fatal(err)
 	}
 	tester := ate.New(dev, *seed)
+	tel, err := common.StartTelemetry("tripsearch")
+	if err != nil {
+		log.Fatal(err)
+	}
 	cond := testgen.NominalConditions()
 	gen := testgen.NewRandomGenerator(*seed+1, dev.Geometry().Words(), testgen.DefaultConditionLimits())
 	gen.FixedConditions = &cond
@@ -77,6 +84,7 @@ func main() {
 	// Each algorithm measures the same batch on its own forked insertion —
 	// the rows are independent, so they fan across workers and print in
 	// declaration order regardless of scheduling.
+	ph := tel.StartPhase("search-compare")
 	rows := make([]*trippoint.DSV, len(algos))
 	err = parallel.Run(len(algos), *par, func(int) (*ate.ATE, error) {
 		return tester.Fork(*seed)
@@ -94,22 +102,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Replay each row in declaration order so searches land in the trace at
+	// a deterministic point regardless of how the workers were scheduled.
+	fullBudget := opt.FullRangeBudget()
+	var compareCost telemetry.Cost
 	for i, dsv := range rows {
+		span := ph.Span().Child("algorithm", telemetry.S("name", algos[i].name))
+		for _, m := range dsv.Values {
+			tel.RecordSearch(m.Measurements, fullBudget, m.Converged)
+		}
+		span.End(telemetry.I("measurements", int64(dsv.TotalMeasurements())))
+		compareCost.Measurements += int64(dsv.TotalMeasurements())
 		s := dsv.Stats()
 		fmt.Printf("%-18s %12d %15.1f %9.3f %s %9.3f %s\n",
 			algos[i].name, dsv.TotalMeasurements(),
 			float64(dsv.TotalMeasurements())/float64(*tests),
 			s.Mean, param.Unit(), s.Range, param.Unit())
 	}
+	ph.End(compareCost)
 
 	fmt.Printf("\nSUTP cost structure (fig. 3): first search establishes RTP over the full\n")
 	fmt.Printf("characterization range CR; every later search steps outward from RTP in\n")
 	fmt.Printf("SF(IT) = SF·IT increments, so cost per test collapses once RTP exists.\n")
+	ph = tel.StartPhase("sutp-cost")
+	statsBefore := tester.Stats()
 	runner := trippoint.NewRunner(tester, param)
 	dsv, err := runner.MeasureAll(batch)
 	if err != nil {
 		log.Fatal(err)
 	}
+	runnerBudget := runner.Options.FullRangeBudget()
+	for _, m := range dsv.Values {
+		tel.RecordSearch(m.Measurements, runnerBudget, m.Converged)
+	}
+	ph.End(cli.Delta(statsBefore, tester.Stats()))
 	s := dsv.Stats()
 	fmt.Printf("first search: %d measurements, follow-up mean: %.1f measurements\n",
 		s.FirstSearchCost, s.FollowupSearchCost)
@@ -142,5 +168,13 @@ func main() {
 		}
 		fmt.Printf("directed worst: %.3f %s by %s — compare the NN+GA result from cmd/characterize\n",
 			worstVal, param.Unit(), worstName)
+	}
+
+	// The comparison rows ran on forked insertions; fold their cost into the
+	// serial tester's own counters for the report total.
+	total := tester.Stats()
+	total.Measurements += compareCost.Measurements
+	if err := common.FinishTelemetry(os.Stdout, tel, total); err != nil {
+		log.Fatal(err)
 	}
 }

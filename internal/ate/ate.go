@@ -21,6 +21,12 @@ type Stats struct {
 	VectorsApplied int64   // total vector cycles driven into the DUT
 	TestTimeSec    float64 // simulated tester wall time
 	Profiles       int64   // distinct pattern loads (profile computations)
+
+	// PerParam splits Measurements by the swept parameter (indexed by
+	// Parameter); Functional counts full-pattern functional replays, which
+	// sweep nothing. PerParam[...]+Functional == Measurements.
+	PerParam   [NumParameters]int64
+	Functional int64
 }
 
 // Add accumulates other into s.
@@ -29,6 +35,19 @@ func (s *Stats) Add(other Stats) {
 	s.VectorsApplied += other.VectorsApplied
 	s.TestTimeSec += other.TestTimeSec
 	s.Profiles += other.Profiles
+	for i := range s.PerParam {
+		s.PerParam[i] += other.PerParam[i]
+	}
+	s.Functional += other.Functional
+}
+
+// ForParam returns the pass/fail measurement count charged to the
+// parameter.
+func (s Stats) ForParam(p Parameter) int64 {
+	if int(p) >= len(s.PerParam) {
+		return 0
+	}
+	return s.PerParam[p]
 }
 
 // setupTimeSec is the fixed per-measurement tester overhead (pattern
@@ -85,8 +104,16 @@ func (a *ATE) Device() *dut.Device { return a.dev }
 // Stats returns a copy of the accumulated cost counters.
 func (a *ATE) Stats() Stats { return a.stats }
 
-// ResetStats clears the cost counters.
-func (a *ATE) ResetStats() { a.stats = Stats{} }
+// ResetStats clears the cost counters and invalidates the pattern-memory
+// profile cache. The two must reset together: a phase that starts with a
+// warm profile cache under-reports its Profiles cost, so per-phase
+// breakdowns (Table 1 rows, run-report phases) would not sum to a
+// fresh-tester run. The profile recomputation is deterministic, so the
+// extra reload never changes measurement outcomes.
+func (a *ATE) ResetStats() {
+	a.stats = Stats{}
+	a.Reload()
+}
 
 // Reload invalidates the pattern-memory profile cache. Call after anything
 // that changes the device's behaviour for an already-loaded test — row
@@ -111,9 +138,15 @@ func (a *ATE) load(t testgen.Test) (dut.Profile, error) {
 	return p, nil
 }
 
-// chargeMeasurement accounts one pass/fail measurement of the test and
-// advances the thermal model.
-func (a *ATE) chargeMeasurement(t testgen.Test, activity float64) {
+// chargeMeasurement accounts one pass/fail measurement of the test against
+// the swept parameter (or the functional bucket when param is
+// NumParameters) and advances the thermal model.
+func (a *ATE) chargeMeasurement(t testgen.Test, activity float64, param Parameter) {
+	if int(param) < len(a.stats.PerParam) {
+		a.stats.PerParam[param]++
+	} else {
+		a.stats.Functional++
+	}
 	a.stats.Measurements++
 	a.stats.VectorsApplied += int64(len(t.Seq))
 	clockHz := t.Cond.ClockMHz * 1e6
@@ -150,7 +183,7 @@ func (a *ATE) MeasureTDQPass(t testgen.Test, strobeNS float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	a.chargeMeasurement(t, p.MeanActivity())
+	a.chargeMeasurement(t, p.MeanActivity(), TDQ)
 	temp := t.Cond.TempC + a.Heating.RiseC()
 	w := p.TDQWindowNSAtCond(t.Cond.VddV, temp, t.Cond.ClockMHz) + a.noise(a.NoiseFraction*TDQ.Resolution())
 	return w >= strobeNS, nil
@@ -163,7 +196,7 @@ func (a *ATE) MeasureShmooPoint(t testgen.Test, vdd, strobeNS float64) (bool, er
 	if err != nil {
 		return false, err
 	}
-	a.chargeMeasurement(t, p.MeanActivity())
+	a.chargeMeasurement(t, p.MeanActivity(), TDQ)
 	temp := t.Cond.TempC + a.Heating.RiseC()
 	w := p.TDQWindowNSAtCond(vdd, temp, t.Cond.ClockMHz) + a.noise(a.NoiseFraction*TDQ.Resolution())
 	return w >= strobeNS, nil
@@ -176,7 +209,7 @@ func (a *ATE) MeasureFmaxPass(t testgen.Test, clockMHz float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	a.chargeMeasurement(t, p.MeanActivity())
+	a.chargeMeasurement(t, p.MeanActivity(), Fmax)
 	temp := t.Cond.TempC + a.Heating.RiseC()
 	f := p.FmaxMHzAtCond(t.Cond.VddV, temp) + a.noise(a.NoiseFraction*Fmax.Resolution())
 	return clockMHz <= f, nil
@@ -189,7 +222,7 @@ func (a *ATE) MeasureVddMinPass(t testgen.Test, vdd float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	a.chargeMeasurement(t, p.MeanActivity())
+	a.chargeMeasurement(t, p.MeanActivity(), VddMin)
 	temp := t.Cond.TempC + a.Heating.RiseC()
 	vmin := p.VddMinVAtCond(temp) + a.noise(a.NoiseFraction*VddMin.Resolution())
 	return vdd >= vmin, nil
@@ -203,7 +236,7 @@ func (a *ATE) FunctionalPass(t testgen.Test) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	a.chargeMeasurement(t, p.MeanActivity())
+	a.chargeMeasurement(t, p.MeanActivity(), Parameter(NumParameters))
 	return !p.Func.Failed(), nil
 }
 
@@ -214,7 +247,7 @@ func (a *ATE) MeasureFmaxShmooPoint(t testgen.Test, vdd, clockMHz float64) (bool
 	if err != nil {
 		return false, err
 	}
-	a.chargeMeasurement(t, p.MeanActivity())
+	a.chargeMeasurement(t, p.MeanActivity(), Fmax)
 	temp := t.Cond.TempC + a.Heating.RiseC()
 	f := p.FmaxMHzAtCond(vdd, temp) + a.noise(a.NoiseFraction*Fmax.Resolution())
 	return clockMHz <= f, nil

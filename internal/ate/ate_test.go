@@ -302,3 +302,80 @@ func TestMeasurerAllParameters(t *testing.T) {
 		}
 	}
 }
+
+func TestPerParamAttribution(t *testing.T) {
+	a := testATE(t)
+	tt := sampleTest(t)
+	for i := 0; i < 3; i++ {
+		if _, err := a.MeasureTDQPass(tt, 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.MeasureShmooPoint(tt, 1.8, 25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MeasureFmaxPass(tt, 90); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MeasureFmaxShmooPoint(tt, 1.8, 90); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MeasureVddMinPass(tt, 1.8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.FunctionalPass(tt); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if got := s.ForParam(TDQ); got != 4 {
+		t.Errorf("TDQ measurements = %d, want 4", got)
+	}
+	if got := s.ForParam(Fmax); got != 2 {
+		t.Errorf("Fmax measurements = %d, want 2", got)
+	}
+	if got := s.ForParam(VddMin); got != 1 {
+		t.Errorf("Vddmin measurements = %d, want 1", got)
+	}
+	if s.Functional != 1 {
+		t.Errorf("functional measurements = %d, want 1", s.Functional)
+	}
+	var sum int64
+	for _, p := range []Parameter{TDQ, Fmax, VddMin} {
+		sum += s.ForParam(p)
+	}
+	if sum+s.Functional != s.Measurements {
+		t.Errorf("per-param sum %d + functional %d != total %d", sum, s.Functional, s.Measurements)
+	}
+	if got := s.ForParam(Parameter(99)); got != 0 {
+		t.Errorf("out-of-range ForParam = %d, want 0", got)
+	}
+}
+
+func TestStatsAddPerParam(t *testing.T) {
+	a := Stats{Functional: 1}
+	a.PerParam[TDQ] = 2
+	b := Stats{Functional: 10}
+	b.PerParam[TDQ] = 20
+	b.PerParam[Fmax] = 5
+	a.Add(b)
+	if a.PerParam[TDQ] != 22 || a.PerParam[Fmax] != 5 || a.Functional != 11 {
+		t.Errorf("per-param Add wrong: %+v", a)
+	}
+}
+
+func TestResetStatsInvalidatesProfileCache(t *testing.T) {
+	a := testATE(t)
+	tt := sampleTest(t)
+	if _, err := a.Profile(tt); err != nil {
+		t.Fatal(err)
+	}
+	a.ResetStats()
+	// A phase started after the reset must pay its own pattern load, so
+	// per-phase Profiles breakdowns sum to a fresh-tester run.
+	if _, err := a.Profile(tt); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().Profiles; got != 1 {
+		t.Errorf("profiles after reset = %d, want 1 (cache must reset with stats)", got)
+	}
+}

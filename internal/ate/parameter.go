@@ -21,6 +21,11 @@ const (
 	Fmax
 	// VddMin is the minimum passing supply voltage (V).
 	VddMin
+
+	// NumParameters sizes per-parameter accounting arrays (Stats.PerParam).
+	// Measurements charged with a Parameter ≥ NumParameters (the functional
+	// replays, which sweep nothing) land in Stats.Functional instead.
+	NumParameters = int(VddMin) + 1
 )
 
 // String names the parameter.

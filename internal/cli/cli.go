@@ -1,0 +1,130 @@
+// Package cli is the shared command-line substrate of the cmd/ binaries:
+// one flag-registration helper so every tool spells the common knobs the
+// same way (-seed, -parallel, -no-cache, -trace, -metrics, -report), plus
+// the telemetry bootstrap that turns those flags into a live run-telemetry
+// handle, a worker-pool observer and an end-of-run report.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ate"
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// Common holds the flag values shared by every binary.
+type Common struct {
+	Seed     int64
+	Parallel int
+	NoCache  bool
+
+	TracePath   string
+	MetricsPath string
+	Report      bool
+}
+
+// Register installs the shared flags on the flag set (flag.CommandLine when
+// nil) and returns the struct their values land in. Call before
+// flag.Parse.
+func Register(fs *flag.FlagSet) *Common {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &Common{}
+	fs.Int64Var(&c.Seed, "seed", 1, "random seed for the whole run")
+	fs.IntVar(&c.Parallel, "parallel", 0, "worker count for every parallel stage (0 = one per CPU, 1 = serial; results are identical either way)")
+	fs.BoolVar(&c.NoCache, "no-cache", false, "disable the measurement memo-cache (re-measure structurally identical tests)")
+	fs.StringVar(&c.TracePath, "trace", "", "write a structured JSONL event trace here (bit-identical for any -parallel)")
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write the end-of-run metrics snapshot as JSON here")
+	fs.BoolVar(&c.Report, "report", false, "print the run report (phase breakdown, cache hit rate, measurements saved) on exit")
+	return c
+}
+
+// TelemetryEnabled reports whether any telemetry output was requested.
+func (c *Common) TelemetryEnabled() bool {
+	return c.TracePath != "" || c.MetricsPath != "" || c.Report
+}
+
+// StartTelemetry opens the run telemetry the flags describe and installs
+// the worker-pool observer. Returns nil (a fully inert handle) when no
+// telemetry output was requested.
+func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
+	if !c.TelemetryEnabled() {
+		return nil, nil
+	}
+	var tracer *telemetry.Tracer
+	if c.TracePath != "" {
+		var err error
+		tracer, err = telemetry.NewFileTracer(c.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: opening trace: %w", err)
+		}
+	}
+	tel := telemetry.New(runName, tracer)
+	parallel.SetObserver(tel.ObservePool)
+	return tel, nil
+}
+
+// FinishTelemetry closes out the run: writes the -metrics snapshot, prints
+// the -report run report to w, uninstalls the pool observer and closes the
+// trace. total is the whole run's tester cost. Nil tel is a no-op.
+func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total ate.Stats) error {
+	if tel == nil {
+		return nil
+	}
+	parallel.SetObserver(nil)
+	rep := tel.Report(Cost(total))
+	if c.MetricsPath != "" {
+		f, err := os.Create(c.MetricsPath)
+		if err != nil {
+			return fmt.Errorf("cli: writing metrics: %w", err)
+		}
+		if err := rep.Metrics.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.Report {
+		fmt.Fprint(w, rep.Render())
+	}
+	return tel.Close()
+}
+
+// Cost converts tester counters into a telemetry cost.
+func Cost(s ate.Stats) telemetry.Cost {
+	return telemetry.Cost{
+		Measurements: s.Measurements,
+		Vectors:      s.VectorsApplied,
+		Profiles:     s.Profiles,
+		SimTimeSec:   s.TestTimeSec,
+	}
+}
+
+// Delta is the tester cost consumed between two stat snapshots.
+func Delta(before, after ate.Stats) telemetry.Cost {
+	return telemetry.Cost{
+		Measurements: after.Measurements - before.Measurements,
+		Vectors:      after.VectorsApplied - before.VectorsApplied,
+		Profiles:     after.Profiles - before.Profiles,
+		SimTimeSec:   after.TestTimeSec - before.TestTimeSec,
+	}
+}
+
+// PrintCacheSummary prints the one-line measurement memo-cache summary the
+// binaries share. Disabled caches (zero lookups) report as such.
+func PrintCacheSummary(w io.Writer, hits, misses int64) {
+	lookups := hits + misses
+	if lookups == 0 {
+		fmt.Fprintln(w, "measurement cache: no lookups (cache disabled or unused)")
+		return
+	}
+	fmt.Fprintf(w, "measurement cache: %d hits / %d misses (hit rate %.1f%%)\n",
+		hits, misses, 100*float64(hits)/float64(lookups))
+}

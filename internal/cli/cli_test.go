@@ -1,0 +1,146 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ate"
+)
+
+func TestRegisterDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 1 || c.Parallel != 0 || c.NoCache || c.TelemetryEnabled() {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}
+
+func TestRegisterParsesSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	err := fs.Parse([]string{
+		"-seed", "7", "-parallel", "2", "-no-cache",
+		"-trace", "t.jsonl", "-metrics", "m.json", "-report",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 7 || c.Parallel != 2 || !c.NoCache {
+		t.Errorf("base flags wrong: %+v", c)
+	}
+	if c.TracePath != "t.jsonl" || c.MetricsPath != "m.json" || !c.Report {
+		t.Errorf("telemetry flags wrong: %+v", c)
+	}
+	if !c.TelemetryEnabled() {
+		t.Error("telemetry not enabled")
+	}
+}
+
+func TestStartTelemetryDisabled(t *testing.T) {
+	c := &Common{}
+	tel, err := c.StartTelemetry("unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel != nil {
+		t.Error("telemetry handle created with no outputs requested")
+	}
+	var buf bytes.Buffer
+	if err := c.FinishTelemetry(&buf, tel, ate.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("disabled telemetry produced output: %q", buf.String())
+	}
+}
+
+func TestStartFinishTelemetryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	c := &Common{
+		TracePath:   filepath.Join(dir, "trace.jsonl"),
+		MetricsPath: filepath.Join(dir, "metrics.json"),
+		Report:      true,
+	}
+	tel, err := c.StartTelemetry("unit-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel == nil {
+		t.Fatal("no telemetry handle")
+	}
+	tel.StartPhase("work").End(Cost(ate.Stats{Measurements: 3, VectorsApplied: 30, TestTimeSec: 0.5}))
+	tel.RecordSearch(4, 10, true)
+
+	var buf bytes.Buffer
+	if err := c.FinishTelemetry(&buf, tel, ate.Stats{Measurements: 3, VectorsApplied: 30, TestTimeSec: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"run report: unit-run", "work", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	trace, err := os.ReadFile(c.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(trace)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace too short: %q", string(trace))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("trace line %d invalid: %v", i, err)
+		}
+	}
+
+	metrics, err := os.ReadFile(c.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(metrics, &snap); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, string(metrics))
+	}
+	counters, ok := snap["counters"].(map[string]any)
+	if !ok || counters["search_total"] != float64(1) {
+		t.Errorf("metrics snapshot wrong: %v", snap)
+	}
+}
+
+func TestDeltaAndCost(t *testing.T) {
+	before := ate.Stats{Measurements: 10, VectorsApplied: 100, Profiles: 1, TestTimeSec: 1}
+	after := ate.Stats{Measurements: 15, VectorsApplied: 160, Profiles: 3, TestTimeSec: 2.5}
+	d := Delta(before, after)
+	if d.Measurements != 5 || d.Vectors != 60 || d.Profiles != 2 || d.SimTimeSec != 1.5 {
+		t.Errorf("delta = %+v", d)
+	}
+	c := Cost(after)
+	if c.Measurements != 15 || c.Vectors != 160 || c.Profiles != 3 || c.SimTimeSec != 2.5 {
+		t.Errorf("cost = %+v", c)
+	}
+}
+
+func TestPrintCacheSummary(t *testing.T) {
+	var buf bytes.Buffer
+	PrintCacheSummary(&buf, 6, 4)
+	if got := buf.String(); !strings.Contains(got, "6 hits / 4 misses") || !strings.Contains(got, "60.0%") {
+		t.Errorf("summary = %q", got)
+	}
+	buf.Reset()
+	PrintCacheSummary(&buf, 0, 0)
+	if !strings.Contains(buf.String(), "no lookups") {
+		t.Errorf("disabled summary = %q", buf.String())
+	}
+}

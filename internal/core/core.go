@@ -23,6 +23,7 @@ import (
 	"repro/internal/genetic"
 	"repro/internal/neural"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 	"repro/internal/testgen"
 )
 
@@ -83,6 +84,13 @@ type Config struct {
 	// are structurally identical to one already measured. Used to baseline
 	// the cache's savings.
 	DisableMeasurementCache bool
+
+	// Telemetry, when non-nil, receives structured trace spans, metrics and
+	// phase rows from every pipeline stage the flow executes. All emission
+	// happens at deterministic program points (serial sections and
+	// task-order merge loops), so traces are bit-identical for any
+	// Parallelism. Nil disables instrumentation at near-zero cost.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns a configuration sized to run the full flow in
@@ -127,7 +135,8 @@ type Characterizer struct {
 	gen   *testgen.RandomGenerator
 	coder *fuzzy.TripPointCoder
 
-	learned *LearningResult
+	learned  *LearningResult
+	lastEval *parallelEvaluator
 }
 
 // NewCharacterizer wires a flow against a tester insertion.
@@ -169,4 +178,39 @@ func (c *Characterizer) searchOptions() search.Options {
 // newSUTP builds a fresh Search-Until-Trip-Point searcher for a run.
 func (c *Characterizer) newSUTP() *search.SUTP {
 	return &search.SUTP{SF: c.cfg.SearchFactor, Refine: true}
+}
+
+// tel returns the run's telemetry handle; nil (inert) when observability is
+// off.
+func (c *Characterizer) tel() *telemetry.Telemetry { return c.cfg.Telemetry }
+
+// CacheStats returns the measurement memo-cache effectiveness of the most
+// recent Optimize/OptimizeFrom run: fitness lookups answered from the cache
+// versus lookups that had to burn ATE time. Zeros before any optimization
+// ran; with the cache disabled every lookup is a miss.
+func (c *Characterizer) CacheStats() (hits, misses int64) {
+	if c.lastEval == nil {
+		return 0, 0
+	}
+	return c.lastEval.cacheHits(), c.lastEval.cacheMisses()
+}
+
+// telCost converts the ATE's cost counters into a telemetry phase cost.
+func telCost(s ate.Stats) telemetry.Cost {
+	return telemetry.Cost{
+		Measurements: s.Measurements,
+		Vectors:      s.VectorsApplied,
+		Profiles:     s.Profiles,
+		SimTimeSec:   s.TestTimeSec,
+	}
+}
+
+// telDelta is the tester cost consumed between two stat snapshots.
+func telDelta(before, after ate.Stats) telemetry.Cost {
+	return telemetry.Cost{
+		Measurements: after.Measurements - before.Measurements,
+		Vectors:      after.VectorsApplied - before.VectorsApplied,
+		Profiles:     after.Profiles - before.Profiles,
+		SimTimeSec:   after.TestTimeSec - before.TestTimeSec,
+	}
 }

@@ -38,6 +38,7 @@ type parallelEvaluator struct {
 	taskSeq int64 // measured-task counter across batches; drives seeds
 
 	evaluations int64 // SUTP searches actually performed
+	budget      int   // full-range search cost, the per-search baseline
 }
 
 func newParallelEvaluator(c *Characterizer) *parallelEvaluator {
@@ -49,6 +50,7 @@ func newParallelEvaluator(c *Characterizer) *parallelEvaluator {
 		specIsMin: isMin,
 		workers:   c.cfg.Parallelism,
 	}
+	e.budget = e.opts.FullRangeBudget()
 	if !c.cfg.DisableMeasurementCache {
 		e.cache = parallel.NewMemoCache()
 	}
@@ -90,6 +92,10 @@ func (e *parallelEvaluator) FitnessBatch(tests []testgen.Test) ([]float64, error
 		fpOf    []uint64 // the representative's fingerprint
 		members [][]int  // test indices sharing the representative's value
 	)
+	var hitsBefore, missBefore int64
+	if e.cache != nil {
+		hitsBefore, missBefore = e.cache.Hits(), e.cache.Misses()
+	}
 	groupOf := map[uint64]int{}
 	for i, tt := range tests {
 		fp := tt.Fingerprint()
@@ -107,6 +113,11 @@ func (e *parallelEvaluator) FitnessBatch(tests []testgen.Test) ([]float64, error
 		reps = append(reps, i)
 		fpOf = append(fpOf, fp)
 		members = append(members, []int{i})
+	}
+	// The resolve loop above is serial, so the cache-effectiveness deltas
+	// are deterministic regardless of the worker count below.
+	if e.cache != nil {
+		e.c.tel().RecordCacheLookups(e.cache.Hits()-hitsBefore, e.cache.Misses()-missBefore, e.budget)
 	}
 	if len(reps) == 0 {
 		return out, nil
@@ -160,6 +171,7 @@ func (e *parallelEvaluator) FitnessBatch(tests []testgen.Test) ([]float64, error
 	// worker count), memoize, and fan values out to duplicate individuals.
 	for t := range reps {
 		e.c.ate.AddStats(taskStats[t])
+		e.c.tel().RecordSearch(results[t].Measurements, e.budget, results[t].Converged)
 		// Non-converged searches still carry information: an all-fail
 		// range means the trip point is beyond the pass-side end
 		// (catastrophically bad, large WCR via the endpoint value); an

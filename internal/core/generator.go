@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/genetic"
+	"repro/internal/telemetry"
 	"repro/internal/testgen"
 )
 
@@ -26,6 +27,10 @@ func (c *Characterizer) ProposeSeeds() ([]Candidate, error) {
 	if c.learned == nil || c.learned.Ensemble == nil {
 		return nil, fmt.Errorf("core: no trained ensemble; run Learn or LoadWeights first")
 	}
+	ph := c.tel().StartPhase("propose-seeds")
+	before := c.ate.Stats()
+	defer func() { ph.End(telDelta(before, c.ate.Stats())) }()
+
 	limits := c.gen.Limits()
 	pool := make([]Candidate, 0, c.cfg.CandidatePool)
 	for i := 0; i < c.cfg.CandidatePool; i++ {
@@ -49,6 +54,14 @@ func (c *Characterizer) ProposeSeeds() ([]Candidate, error) {
 	})
 	if len(pool) > c.cfg.SeedCount {
 		pool = pool[:c.cfg.SeedCount]
+	}
+	if len(pool) > 0 {
+		ph.Span().Event("seeds",
+			telemetry.I("pool", c.cfg.CandidatePool),
+			telemetry.I("selected", len(pool)),
+			telemetry.F("top_severity", pool[0].Severity),
+		)
+		c.tel().Registry().Gauge("seed_top_severity").Set(pool[0].Severity)
 	}
 	return pool, nil
 }

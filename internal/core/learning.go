@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/neural"
+	"repro/internal/telemetry"
 	"repro/internal/testgen"
 	"repro/internal/trippoint"
 )
@@ -33,9 +34,15 @@ type LearningResult struct {
 //     learnability and generalization checks,
 //  5. the trained ensemble is retained (persist it with SaveWeights).
 func (c *Characterizer) Learn() (*LearningResult, error) {
+	tel := c.tel()
+	ph := tel.StartPhase("learn")
+	before := c.ate.Stats()
+	defer func() { ph.End(telDelta(before, c.ate.Stats())) }()
+
 	runner := trippoint.NewRunner(c.ate, c.cfg.Parameter)
 	runner.Searcher = c.newSUTP()
 	runner.Options = c.searchOptions()
+	budget := runner.Options.FullRangeBudget()
 
 	limits := c.gen.Limits()
 	res := &LearningResult{}
@@ -45,6 +52,13 @@ func (c *Characterizer) Learn() (*LearningResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: learning measurement %d: %w", i, err)
 		}
+		tel.RecordSearch(m.Measurements, budget, m.Converged)
+		ph.Span().Event("trip",
+			telemetry.I("i", i),
+			telemetry.F("trip", m.TripPoint),
+			telemetry.I("measurements", m.Measurements),
+			telemetry.B("converged", m.Converged),
+		)
 		if !m.Converged {
 			// Outside the generous range — skip as unlearnable, matching
 			// ATE practice of flagging range violations for re-setup.
@@ -77,6 +91,23 @@ func (c *Characterizer) Learn() (*LearningResult, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Member reports arrive in member order regardless of the training
+	// parallelism, so emitting from them here is deterministic.
+	epochErr := tel.Registry().Histogram("nn_epoch_error", telemetry.DefaultErrorBuckets()...)
+	for i, rep := range reports {
+		for _, e := range rep.ErrCurve {
+			epochErr.Observe(e)
+		}
+		ph.Span().Event("nn_member",
+			telemetry.I("member", i),
+			telemetry.I("epochs", len(rep.ErrCurve)),
+			telemetry.F("val_err", rep.ValErr),
+			telemetry.B("generalized", rep.Generalized),
+		)
+	}
+	tel.Registry().Gauge("nn_ensemble_val_error").Set(res.EnsembleValErr)
+	tel.Registry().Counter("nn_members_trained_total").Add(int64(len(reports)))
 
 	c.learned = res
 	return res, nil

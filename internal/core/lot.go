@@ -9,6 +9,7 @@ import (
 	"repro/internal/dut"
 	"repro/internal/parallel"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 	"repro/internal/testgen"
 	"repro/internal/trippoint"
 	"repro/internal/wcr"
@@ -48,11 +49,13 @@ type LotReport struct {
 	PerCornerWorst map[dut.Corner]float64
 
 	Measurements int64
+	// Stats is the full tester cost summed over the per-die insertions.
+	Stats ate.Stats
 }
 
 // screenDie measures every test on one die with a fresh tester insertion
 // and returns the die result plus the measurement cost.
-func screenDie(param ate.Parameter, tests []testgen.Test, die *dut.Die, geom dut.Geometry, seed int64) (DieResult, int64, error) {
+func screenDie(param ate.Parameter, tests []testgen.Test, die *dut.Die, geom dut.Geometry, seed int64) (DieResult, ate.Stats, error) {
 	spec, isMin := param.SpecValue()
 	worseThan := func(a, b float64) bool {
 		if isMin {
@@ -62,7 +65,7 @@ func screenDie(param ate.Parameter, tests []testgen.Test, die *dut.Die, geom dut
 	}
 	dev, err := dut.NewDevice(geom, die)
 	if err != nil {
-		return DieResult{}, 0, fmt.Errorf("core: die %d: %w", die.ID, err)
+		return DieResult{}, ate.Stats{}, fmt.Errorf("core: die %d: %w", die.ID, err)
 	}
 	tester := ate.New(dev, seed)
 	runner := trippoint.NewRunner(tester, param)
@@ -76,7 +79,7 @@ func screenDie(param ate.Parameter, tests []testgen.Test, die *dut.Die, geom dut
 	for _, t := range tests {
 		m, err := runner.Measure(t)
 		if err != nil {
-			return DieResult{}, 0, fmt.Errorf("core: die %d test %s: %w", die.ID, t.Name, err)
+			return DieResult{}, ate.Stats{}, fmt.Errorf("core: die %d test %s: %w", die.ID, t.Name, err)
 		}
 		if m.Converged && worseThan(m.TripPoint, worst) {
 			worst = m.TripPoint
@@ -84,19 +87,19 @@ func screenDie(param ate.Parameter, tests []testgen.Test, die *dut.Die, geom dut
 		}
 		ok, err := tester.FunctionalPass(t)
 		if err != nil {
-			return DieResult{}, 0, err
+			return DieResult{}, ate.Stats{}, err
 		}
 		if !ok {
 			dr.FunctionalFails++
 		}
 	}
 	if math.IsInf(worst, 0) {
-		return DieResult{}, 0, fmt.Errorf("core: die %d: no test converged", die.ID)
+		return DieResult{}, ate.Stats{}, fmt.Errorf("core: die %d: no test converged", die.ID)
 	}
 	dr.WorstTrip = worst
 	dr.WCR = wcr.For(worst, spec, isMin)
 	dr.Class = wcr.Classify(dr.WCR)
-	return dr, tester.Stats().Measurements, nil
+	return dr, tester.Stats(), nil
 }
 
 // ScreenLot measures every test on every die of the lot (one fresh tester
@@ -114,15 +117,24 @@ func ScreenLot(param ate.Parameter, tests []testgen.Test, dies []*dut.Die, geom 
 // from the die ID), so the report is identical to the serial one, in die
 // order, regardless of the worker count.
 func ScreenLotParallel(param ate.Parameter, tests []testgen.Test, dies []*dut.Die, geom dut.Geometry, baseSeed int64, workers int) (*LotReport, error) {
+	return ScreenLotParallelTel(param, tests, dies, geom, baseSeed, workers, nil)
+}
+
+// ScreenLotParallelTel is ScreenLotParallel with run telemetry: the screen
+// runs under a "lot-screen" phase whose cost sums the hermetic per-die
+// tester insertions, and the merge loop (die order, so deterministic for
+// any worker count) emits one "die" event per die.
+func ScreenLotParallelTel(param ate.Parameter, tests []testgen.Test, dies []*dut.Die, geom dut.Geometry, baseSeed int64, workers int, tel *telemetry.Telemetry) (*LotReport, error) {
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("core: lot screen needs at least one test")
 	}
 	if len(dies) == 0 {
 		return nil, fmt.Errorf("core: empty die lot")
 	}
+	ph := tel.StartPhase("lot-screen")
 	type outcome struct {
 		dr   DieResult
-		cost int64
+		cost ate.Stats
 	}
 	results := make([]outcome, len(dies))
 	err := parallel.ForEach(len(dies), workers, func(i int) error {
@@ -157,7 +169,15 @@ func ScreenLotParallel(param ate.Parameter, tests []testgen.Test, dies []*dut.Di
 		dr := res.dr
 		rep.Dies = append(rep.Dies, dr)
 		rep.ClassCounts[dr.Class]++
-		rep.Measurements += res.cost
+		rep.Measurements += res.cost.Measurements
+		rep.Stats.Add(res.cost)
+		ph.Span().Event("die",
+			telemetry.I("die", dr.DieID),
+			telemetry.S("corner", dr.Corner.String()),
+			telemetry.F("worst_trip", dr.WorstTrip),
+			telemetry.F("wcr", dr.WCR),
+			telemetry.I("measurements", res.cost.Measurements),
+		)
 
 		sumWorst += dr.WorstTrip
 		minWorst = math.Min(minWorst, dr.WorstTrip)
@@ -173,6 +193,7 @@ func ScreenLotParallel(param ate.Parameter, tests []testgen.Test, dies []*dut.Di
 	}
 	rep.MeanWorstTrip = sumWorst / float64(len(dies))
 	rep.SpreadLot = maxWorst - minWorst
+	ph.End(telCost(rep.Stats))
 	return rep, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/genetic"
+	"repro/internal/telemetry"
 	"repro/internal/wcr"
 )
 
@@ -42,8 +43,30 @@ func (c *Characterizer) OptimizeFrom(seeds []genetic.Seed) (*OptimizationResult,
 	}
 	gaCfg.FixedConditions = c.cfg.FixedConditions
 
+	tel := c.tel()
+	ph := tel.StartPhase("optimize")
+	statsBefore := c.ate.Stats()
+	defer func() { ph.End(telDelta(statsBefore, c.ate.Stats())) }()
+	if tel != nil {
+		// The GA's generation loop is serial, so emitting per-generation
+		// trace events from its callback is deterministic.
+		prev := gaCfg.OnGeneration
+		gaCfg.OnGeneration = func(gen int, best float64) {
+			ph.Span().Event("generation",
+				telemetry.I("gen", gen),
+				telemetry.F("best_wcr", best),
+			)
+			tel.Registry().Gauge("ga_best_wcr").Set(best)
+			tel.Registry().Counter("ga_generations_total").Inc()
+			if prev != nil {
+				prev(gen, best)
+			}
+		}
+	}
+
 	spec, isMin := c.cfg.Parameter.SpecValue()
 	eval := newParallelEvaluator(c)
+	c.lastEval = eval
 
 	ops := genetic.NewOperators(c.cfg.Seed+1, c.gen)
 	opt, err := genetic.NewOptimizer(gaCfg, ops, eval)

@@ -100,7 +100,10 @@ func RunSession(cfg SessionConfig, tester *ate.ATE) (*SessionResult, error) {
 	}
 
 	if cfg.FunctionalScreen {
+		ph := cfg.Flow.Telemetry.StartPhase("functional-screen")
+		before := tester.Stats()
 		fails, err := FunctionalScreen(tester, res.Optimization.Database)
+		ph.End(telDelta(before, tester.Stats()))
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +115,10 @@ func RunSession(cfg SessionConfig, tester *ate.ATE) (*SessionResult, error) {
 	}
 
 	if cfg.Minimize {
+		ph := cfg.Flow.Telemetry.StartPhase("minimize")
+		before := tester.Stats()
 		min, err := char.Minimize(res.Worst.Test, DefaultMinimizeConfig())
+		ph.End(telDelta(before, tester.Stats()))
 		if err != nil {
 			return nil, err
 		}

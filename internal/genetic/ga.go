@@ -38,6 +38,12 @@ type Config struct {
 	// FixedConditions pins every individual to the given conditions
 	// (Table 1 is measured at Vdd 1.8 V); nil lets conditions evolve.
 	FixedConditions *testgen.Conditions
+
+	// OnGeneration, when non-nil, observes every completed generation:
+	// the zero-based generation index and the global best fitness so far.
+	// It runs on the serial generation loop after evaluation, so callers
+	// may emit trace events from it without racing the fitness workers.
+	OnGeneration func(gen int, bestFitness float64)
 }
 
 // DefaultConfig returns tuned defaults sized for the experiments.
@@ -231,6 +237,9 @@ func (o *Optimizer) Run(seeds []Seed) (*Result, error) {
 		}
 		res.Best = globalBest
 		res.BestHistory = append(res.BestHistory, globalBest.Fitness)
+		if o.cfg.OnGeneration != nil {
+			o.cfg.OnGeneration(gen, globalBest.Fitness)
+		}
 
 		if o.cfg.TargetFitness > 0 && globalBest.Fitness >= o.cfg.TargetFitness {
 			res.TargetHit = true

@@ -250,3 +250,35 @@ func TestGADeterminism(t *testing.T) {
 		t.Errorf("same-seed GA runs diverged: %g vs %g", a, b)
 	}
 }
+
+func TestGAOnGenerationCallback(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxGenerations = 8
+	var gens []int
+	var bests []float64
+	cfg.OnGeneration = func(gen int, best float64) {
+		gens = append(gens, gen)
+		bests = append(bests, best)
+	}
+	opt, err := NewOptimizer(cfg, newOps(23), EvaluatorFunc(activityFitness))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != res.Generations {
+		t.Fatalf("callback fired %d times over %d generations", len(gens), res.Generations)
+	}
+	for i, g := range gens {
+		if g != i {
+			t.Errorf("generation index %d at position %d", g, i)
+		}
+	}
+	for i, b := range bests {
+		if b != res.BestHistory[i] {
+			t.Errorf("callback best %g != history %g at gen %d", b, res.BestHistory[i], i)
+		}
+	}
+}

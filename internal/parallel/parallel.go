@@ -19,6 +19,29 @@ import (
 	"sync/atomic"
 )
 
+// Observer receives a post-run summary of one pool execution: the number of
+// workers started and how many tasks each processed. The split of tasks
+// across workers depends on goroutine scheduling, so observers must treat
+// the data as diagnostic (telemetry reports file it under their
+// non-deterministic section); the task *results* remain bit-identical
+// regardless. Observers are invoked after all workers have finished, on the
+// calling goroutine.
+type Observer func(workers int, tasksPerWorker []int)
+
+var observer atomic.Pointer[Observer]
+
+// SetObserver installs the process-wide pool observer (nil uninstalls).
+// Intended for top-level run instrumentation (CLI telemetry), not
+// libraries: there is one slot, and tests that run pools concurrently
+// should leave it unset.
+func SetObserver(fn Observer) {
+	if fn == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&fn)
+}
+
 // Workers resolves a parallelism knob: values below 1 select one worker per
 // available CPU (runtime.GOMAXPROCS), anything else is taken literally.
 func Workers(n int) int {
@@ -55,6 +78,7 @@ func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W
 	if n <= 0 {
 		return nil
 	}
+	obs := observer.Load()
 	nw := Bound(workers, n)
 	if nw == 1 {
 		wk, err := newWorker(0)
@@ -66,11 +90,15 @@ func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W
 				return err
 			}
 		}
+		if obs != nil {
+			(*obs)(1, []int{n})
+		}
 		return nil
 	}
 
 	taskErrs := make([]error, n)
 	workerErrs := make([]error, nw)
+	taskCounts := make([]int, nw)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
@@ -87,11 +115,15 @@ func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W
 				if i >= n {
 					return
 				}
+				taskCounts[w]++
 				taskErrs[i] = task(wk, i)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if obs != nil {
+		(*obs)(nw, taskCounts)
+	}
 
 	for _, err := range workerErrs {
 		if err != nil {

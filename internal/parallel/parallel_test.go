@@ -198,3 +198,47 @@ func TestMemoCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestObserverReportsTaskCounts(t *testing.T) {
+	type obs struct {
+		workers int
+		counts  []int
+	}
+	var got []obs
+	SetObserver(func(workers int, tasksPerWorker []int) {
+		counts := append([]int(nil), tasksPerWorker...)
+		got = append(got, obs{workers, counts})
+	})
+	defer SetObserver(nil)
+
+	if err := ForEach(7, 1, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(7, 3, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("observer fired %d times, want 2", len(got))
+	}
+	if got[0].workers != 1 || len(got[0].counts) != 1 || got[0].counts[0] != 7 {
+		t.Errorf("inline run observation = %+v", got[0])
+	}
+	if got[1].workers != 3 || len(got[1].counts) != 3 {
+		t.Fatalf("parallel run observation = %+v", got[1])
+	}
+	sum := 0
+	for _, c := range got[1].counts {
+		sum += c
+	}
+	if sum != 7 {
+		t.Errorf("per-worker counts sum to %d, want 7", sum)
+	}
+
+	SetObserver(nil)
+	if err := ForEach(2, 2, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Error("observer fired after uninstall")
+	}
+}

@@ -69,6 +69,24 @@ func (o Options) Validate() error {
 // Range returns the characterization range CR = Hi − Lo.
 func (o Options) Range() float64 { return o.Hi - o.Lo }
 
+// FullRangeBudget estimates the measurement cost of one conventional
+// full-range search over the options (binary search / successive
+// approximation, fig. 1): one pass-side boundary verification plus one
+// probe per halving of the range down to the resolution. This is the
+// per-search price of the no-SUTP baseline the paper's cost savings (§4)
+// are measured against; the telemetry report multiplies it by the number
+// of searches a run performed (or absorbed from the memo-cache).
+func (o Options) FullRangeBudget() int {
+	if o.Validate() != nil {
+		return 0
+	}
+	n := 1
+	for r := o.Range(); r > o.Resolution; r /= 2 {
+		n++
+	}
+	return n
+}
+
 // Result is the outcome of one trip-point search.
 type Result struct {
 	// TripPoint is the last passing parameter value (the paper's TPV).

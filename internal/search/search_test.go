@@ -190,3 +190,19 @@ func TestMeasurerFunc(t *testing.T) {
 		t.Error("MeasurerFunc adapter broken")
 	}
 }
+
+func TestFullRangeBudget(t *testing.T) {
+	// Invalid options cost nothing.
+	if got := (Options{Lo: 1, Hi: 1, Resolution: 0.1}).FullRangeBudget(); got != 0 {
+		t.Errorf("invalid options budget = %d, want 0", got)
+	}
+	// Range 35 at resolution 0.1: 1 boundary check + ceil(log2(350)) ≈ 9
+	// halvings = 10, matching the observed ~11-measurement binary search.
+	if got := (Options{Lo: 10, Hi: 45, Resolution: 0.1}).FullRangeBudget(); got != 10 {
+		t.Errorf("T_DQ budget = %d, want 10", got)
+	}
+	// Already at resolution: just the single boundary verification.
+	if got := (Options{Lo: 0, Hi: 1, Resolution: 1}).FullRangeBudget(); got != 1 {
+		t.Errorf("at-resolution budget = %d, want 1", got)
+	}
+}

@@ -55,6 +55,9 @@ func (p *Plot) addTestsParallel(a *ate.ATE, tests []testgen.Test, baseSeed int64
 	for i, cells := range grids {
 		a.AddStats(costs[i])
 		p.merge(cells)
+		if p.OnTest != nil {
+			p.OnTest(p.Tests, costs[i])
+		}
 		p.Tests++
 	}
 	return nil
@@ -83,13 +86,18 @@ func (p *Plot) AddTestParallel(a *ate.ATE, t testgen.Test, baseSeed int64, worke
 	if err != nil {
 		return err
 	}
+	var total ate.Stats
 	for yi, cells := range rows {
 		a.AddStats(costs[yi])
+		total.Add(costs[yi])
 		for xi := 0; xi < p.X.Steps; xi++ {
 			if cells[yi*p.X.Steps+xi] {
 				p.passCount[yi*p.X.Steps+xi]++
 			}
 		}
+	}
+	if p.OnTest != nil {
+		p.OnTest(p.Tests, total)
 	}
 	p.Tests++
 	return nil

@@ -2,6 +2,8 @@ package shmoo
 
 import (
 	"testing"
+
+	"repro/internal/ate"
 )
 
 func smallAxes() (Axis, Axis) {
@@ -102,5 +104,53 @@ func TestParallelOverlayMatchesNoiselessSerial(t *testing.T) {
 	}
 	if got, want := par.Render(), serial.Render(); got != want {
 		t.Errorf("parallel overlay differs from serial:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestOnTestObserverFiresInTestOrder(t *testing.T) {
+	tester, gen := rig(t)
+	tests := gen.Batch(5)
+	x, y := smallAxes()
+	p, err := NewPlot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var indices []int
+	var total int64
+	p.OnTest = func(index int, cost ate.Stats) {
+		indices = append(indices, index)
+		total += cost.Measurements
+	}
+	fork, err := tester.Fork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddTestsParallel(fork, tests, 902, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(indices) != len(tests) {
+		t.Fatalf("observer fired %d times for %d tests", len(indices), len(tests))
+	}
+	for i, idx := range indices {
+		if idx != i {
+			t.Errorf("observation %d has overlay index %d", i, idx)
+		}
+	}
+	if total != fork.Stats().Measurements {
+		t.Errorf("observed cost %d != merged tester cost %d", total, fork.Stats().Measurements)
+	}
+
+	// The row-parallel single-test path reports one observation with the
+	// whole sweep's cost.
+	indices, total = nil, 0
+	before := fork.Stats().Measurements
+	if err := p.AddTestParallel(fork, tests[0], 903, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(indices) != 1 || indices[0] != 5 {
+		t.Errorf("row-parallel observations = %v, want [5]", indices)
+	}
+	if total != fork.Stats().Measurements-before {
+		t.Errorf("row-parallel observed cost %d != consumed %d", total, fork.Stats().Measurements-before)
 	}
 }

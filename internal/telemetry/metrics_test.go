@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Error("Counter did not return the same instance")
+	}
+	g := r.Gauge("y")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Errorf("gauge = %g", g.Value())
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(1)
+	r.Histogram("c").Observe(1)
+	if v := r.Counter("a").Value(); v != 0 {
+		t.Errorf("nil registry counter = %d", v)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("meas", 1, 2, 4, 8)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 7, 8, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+7+8+9+100; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	s := r.Snapshot().Histograms["meas"]
+	// Cumulative counts: ≤1: 0.5,1 → 2; ≤2: +1.5,2 → 4; ≤4: +3 → 5;
+	// ≤8: +7,8 → 7; +Inf: +9,100 → 9.
+	wantCum := []int64{2, 4, 5, 7, 9}
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le %g) cum count = %d, want %d", i, b.LE, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[len(s.Buckets)-1].LE, 1) {
+		t.Error("last bucket bound is not +Inf")
+	}
+	if s.Buckets[len(s.Buckets)-1].Count != s.Count {
+		t.Error("overflow bucket cumulative count != total count")
+	}
+}
+
+func TestHistogramDefaultBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("default")
+	h.Observe(3)
+	s := r.Snapshot().Histograms["default"]
+	if len(s.Buckets) != len(DefaultMeasurementBuckets())+1 {
+		t.Errorf("default bucket count = %d", len(s.Buckets))
+	}
+}
+
+func TestSnapshotEncodingDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insert in scrambled order; JSON map-key sorting must normalize.
+		r.Counter("zeta").Add(1)
+		r.Counter("alpha").Add(2)
+		r.Gauge("mid").Set(0.25)
+		h := r.Histogram("hist", 1, 10)
+		h.Observe(0.5)
+		h.Observe(5)
+		h.Observe(50)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("snapshots differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{`"alpha": 2`, `"zeta": 1`, `"mid": 0.25`, `"+Inf"`, `"count": 3`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot JSON missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, `"alpha"`) > strings.Index(out, `"zeta"`) {
+		t.Error("counter keys not sorted in snapshot JSON")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", 1, 2).Observe(float64(j % 3))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 800 {
+		t.Errorf("concurrent counter = %d, want 800", r.Counter("c").Value())
+	}
+	if r.Histogram("h").Count() != 800 {
+		t.Errorf("concurrent histogram count = %d, want 800", r.Histogram("h").Count())
+	}
+}
