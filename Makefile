@@ -1,8 +1,8 @@
-.PHONY: check test bench bench-parallel bench-obs
+.PHONY: check test bench bench-parallel bench-obs bench-kernels
 
 # The full CI gate: vet + build + race-enabled tests + the telemetry smoke
-# run + the short benchmark passes that write BENCH_parallel.json and
-# BENCH_obs.json.
+# run + the short benchmark passes that write BENCH_parallel.json,
+# BENCH_obs.json and BENCH_kernels.json (with the allocs/op ceiling gate).
 check:
 	./ci.sh
 
@@ -21,3 +21,8 @@ bench-parallel:
 # baseline.
 bench-obs:
 	go test -run '^$$' -bench 'Observability' -benchtime 1x -timeout 60m .
+
+# The neural-kernel benchmarks with allocation profiling: train, per-sample
+# ensemble voting and the batched entry point.
+bench-kernels:
+	go test -run '^$$' -bench 'LearningKernels' -benchmem -benchtime 20x -timeout 10m .

@@ -2,8 +2,12 @@
 # CI gate for the repo: static checks, the race-enabled test suite, a
 # telemetry-enabled smoke run (with a trace-determinism diff), and short
 # benchmark passes that record the perf trajectory in BENCH_parallel.json
-# (fig. 5 + Table 1 ns/op and measurement counts) and BENCH_obs.json
-# (instrumented-flow ns/op, cache hit rate, measurements per op).
+# (fig. 5 + Table 1 ns/op and measurement counts), BENCH_obs.json
+# (instrumented-flow ns/op, cache hit rate, measurements per op) and
+# BENCH_kernels.json (neural kernel ns/op, B/op and allocs/op). The kernel
+# pass is also a hard gate: allocs/op above the pinned ceilings fails CI so
+# allocation regressions in the zero-allocation hot path cannot land
+# silently.
 set -eu
 cd "$(dirname "$0")"
 
@@ -76,3 +80,42 @@ printf '%s\n' "$OBS_OUT" | awk '
 ' > BENCH_obs.json
 echo "wrote BENCH_obs.json:"
 cat BENCH_obs.json
+
+echo "== kernel benchmarks (allocation gate) =="
+# Ceilings sit ~3x above the steady-state numbers measured after the
+# zero-allocation kernel rewrite (train 30, ensemble-predict 97,
+# batch-predict 4 allocs/op); the pre-rewrite path ran at 25661 and 1632.
+KERNELS_OUT=$(go test -run '^$' \
+	-bench '^BenchmarkLearningKernels$' \
+	-benchmem -benchtime 20x -timeout 10m .)
+printf '%s\n' "$KERNELS_OUT"
+printf '%s\n' "$KERNELS_OUT" | awk '
+	BEGIN {
+		printf "[\n"
+		ceiling["BenchmarkLearningKernels/train"] = 100
+		ceiling["BenchmarkLearningKernels/ensemble-predict"] = 300
+		ceiling["BenchmarkLearningKernels/batch-predict"] = 16
+		fail = 0
+	}
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		ns = "null"; bytes = "null"; allocs = "null"
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op") ns = $(i - 1)
+			if ($i == "B/op") bytes = $(i - 1)
+			if ($i == "allocs/op") allocs = $(i - 1)
+		}
+		if (n++) printf ",\n"
+		printf "  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+		if (name in ceiling && allocs != "null" && allocs + 0 > ceiling[name]) {
+			printf "FAIL: %s allocs/op = %s exceeds ceiling %d\n", name, allocs, ceiling[name] > "/dev/stderr"
+			fail = 1
+		}
+	}
+	END {
+		printf "\n]\n"
+		exit fail
+	}
+' > BENCH_kernels.json
+echo "wrote BENCH_kernels.json:"
+cat BENCH_kernels.json

@@ -46,6 +46,16 @@ func main() {
 	)
 	flag.Parse()
 
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
 	param, err := parseParam(*paramName)
 	if err != nil {
 		log.Fatal(err)

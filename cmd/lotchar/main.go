@@ -37,6 +37,16 @@ func main() {
 	flag.Parse()
 	seed, sites := &common.Seed, &common.Parallel
 
+	stopProfiles, profErr := common.StartProfiles()
+	if profErr != nil {
+		log.Fatal(profErr)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
 	tel, telErr := common.StartTelemetry("lotchar")
 	if telErr != nil {
 		log.Fatal(telErr)

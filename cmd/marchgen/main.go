@@ -42,6 +42,16 @@ func main() {
 	)
 	flag.Parse()
 
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
 	if *list {
 		names := testgen.MarchLibraryNames()
 		sort.Strings(names)

@@ -40,6 +40,16 @@ func main() {
 	flag.Parse()
 	seed, par := &common.Seed, &common.Parallel
 
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
 	dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
 	if err != nil {
 		log.Fatal(err)

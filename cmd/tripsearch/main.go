@@ -39,6 +39,16 @@ func main() {
 	flag.Parse()
 	seed, par := &common.Seed, &common.Parallel
 
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
 	var param ate.Parameter
 	switch *paramName {
 	case "tdq":

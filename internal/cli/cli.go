@@ -1,8 +1,10 @@
 // Package cli is the shared command-line substrate of the cmd/ binaries:
 // one flag-registration helper so every tool spells the common knobs the
-// same way (-seed, -parallel, -no-cache, -trace, -metrics, -report), plus
-// the telemetry bootstrap that turns those flags into a live run-telemetry
-// handle, a worker-pool observer and an end-of-run report.
+// same way (-seed, -parallel, -no-cache, -trace, -metrics, -report,
+// -cpuprofile, -memprofile), plus the telemetry bootstrap that turns those
+// flags into a live run-telemetry handle, a worker-pool observer and an
+// end-of-run report, and the pprof bootstrap for profiling the compute
+// kernels.
 package cli
 
 import (
@@ -10,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/ate"
 	"repro/internal/parallel"
@@ -25,6 +29,9 @@ type Common struct {
 	TracePath   string
 	MetricsPath string
 	Report      bool
+
+	CPUProfilePath string
+	MemProfilePath string
 }
 
 // Register installs the shared flags on the flag set (flag.CommandLine when
@@ -41,7 +48,52 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.TracePath, "trace", "", "write a structured JSONL event trace here (bit-identical for any -parallel)")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write the end-of-run metrics snapshot as JSON here")
 	fs.BoolVar(&c.Report, "report", false, "print the run report (phase breakdown, cache hit rate, measurements saved) on exit")
+	fs.StringVar(&c.CPUProfilePath, "cpuprofile", "", "write a pprof CPU profile of the run here")
+	fs.StringVar(&c.MemProfilePath, "memprofile", "", "write a pprof heap profile (after a final GC) here on exit")
 	return c
+}
+
+// StartProfiles starts the profiling the -cpuprofile/-memprofile flags
+// request and returns a stop function that must run at the end of the run
+// (defer it right after a successful call): it stops the CPU profile and
+// writes the heap snapshot. With neither flag set it returns a no-op stop.
+func (c *Common) StartProfiles() (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.CPUProfilePath != "" {
+		cpuFile, err = os.Create(c.CPUProfilePath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cli: starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cli: closing cpu profile: %w", err)
+			}
+		}
+		if c.MemProfilePath != "" {
+			f, err := os.Create(c.MemProfilePath)
+			if err != nil {
+				return fmt.Errorf("cli: creating mem profile: %w", err)
+			}
+			// Materialize final live-heap state so the snapshot reflects
+			// steady-state retention, not transient garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("cli: writing mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("cli: closing mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // TelemetryEnabled reports whether any telemetry output was requested.

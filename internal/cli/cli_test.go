@@ -29,6 +29,7 @@ func TestRegisterParsesSharedFlags(t *testing.T) {
 	err := fs.Parse([]string{
 		"-seed", "7", "-parallel", "2", "-no-cache",
 		"-trace", "t.jsonl", "-metrics", "m.json", "-report",
+		"-cpuprofile", "cpu.pb.gz", "-memprofile", "mem.pb.gz",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +42,57 @@ func TestRegisterParsesSharedFlags(t *testing.T) {
 	}
 	if !c.TelemetryEnabled() {
 		t.Error("telemetry not enabled")
+	}
+	if c.CPUProfilePath != "cpu.pb.gz" || c.MemProfilePath != "mem.pb.gz" {
+		t.Errorf("profile flags wrong: %+v", c)
+	}
+}
+
+func TestStartProfilesDisabledIsNoOp(t *testing.T) {
+	c := &Common{}
+	stop, err := c.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartProfilesWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	c := &Common{
+		CPUProfilePath: filepath.Join(dir, "cpu.pb.gz"),
+		MemProfilePath: filepath.Join(dir, "mem.pb.gz"),
+	}
+	stop, err := c.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to record.
+	sink := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		sink += float64(i % 7)
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{c.CPUProfilePath, c.MemProfilePath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesBadPath(t *testing.T) {
+	c := &Common{CPUProfilePath: filepath.Join(t.TempDir(), "missing-dir", "cpu.pb.gz")}
+	if _, err := c.StartProfiles(); err == nil {
+		t.Error("expected error for unwritable cpu profile path")
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"repro/internal/genetic"
+	"repro/internal/neural"
+	"repro/internal/parallel"
 	"repro/internal/telemetry"
 	"repro/internal/testgen"
 )
@@ -23,6 +25,12 @@ type Candidate struct {
 // SeedCount as the "sub-optimal tests selected by fuzzy-neural network test
 // generator based on its previous learning experience". Ranking breaks
 // severity ties toward higher confidence.
+//
+// Candidate generation is serial (the generator owns one random stream),
+// but the surrogate scoring fans across the worker pool: each worker votes
+// with its own ensemble scratch arena (the trained weights are read-only),
+// writing severities into index-addressed slots, so the ranking is
+// bit-identical for any Parallelism.
 func (c *Characterizer) ProposeSeeds() ([]Candidate, error) {
 	if c.learned == nil || c.learned.Ensemble == nil {
 		return nil, fmt.Errorf("core: no trained ensemble; run Learn or LoadWeights first")
@@ -32,19 +40,27 @@ func (c *Characterizer) ProposeSeeds() ([]Candidate, error) {
 	defer func() { ph.End(telDelta(before, c.ate.Stats())) }()
 
 	limits := c.gen.Limits()
-	pool := make([]Candidate, 0, c.cfg.CandidatePool)
-	for i := 0; i < c.cfg.CandidatePool; i++ {
+	ens := c.learned.Ensemble
+	pool := make([]Candidate, c.cfg.CandidatePool)
+	feats := make([][]float64, c.cfg.CandidatePool)
+	for i := range pool {
 		t := c.gen.Next()
-		feat := testgen.ExtractFeatures(t, limits)
-		pred, conf, err := c.learned.Ensemble.Vote(feat)
-		if err != nil {
-			return nil, fmt.Errorf("core: scoring candidate %d: %w", i, err)
-		}
-		pool = append(pool, Candidate{
-			Test:       t,
-			Severity:   c.coder.Severity(pred),
-			Confidence: conf,
+		pool[i].Test = t
+		feats[i] = testgen.ExtractFeatures(t, limits)
+	}
+	err := parallel.Run(len(pool), c.cfg.Parallelism,
+		func(int) (*neural.EnsembleScratch, error) { return ens.NewScratch(), nil },
+		func(s *neural.EnsembleScratch, i int) error {
+			pred, conf, err := ens.VoteInto(s, feats[i])
+			if err != nil {
+				return fmt.Errorf("core: scoring candidate %d: %w", i, err)
+			}
+			pool[i].Severity = c.coder.Severity(pred)
+			pool[i].Confidence = conf
+			return nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(pool, func(i, j int) bool {
 		if pool[i].Severity != pool[j].Severity {

@@ -64,6 +64,47 @@ func TestOptimizeDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+func TestProposeSeedsDeterministicAcrossParallelism(t *testing.T) {
+	// The surrogate scoring pass fans ensemble voting across workers with
+	// one scratch arena each; the ranked candidate list must stay
+	// bit-identical for any worker count.
+	proposeWith := func(parallelism int) []Candidate {
+		cfg := quickConfig(41)
+		cfg.Parallelism = parallelism
+		char, err := NewCharacterizer(cfg, newTester(t, 41))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := char.Learn(); err != nil {
+			t.Fatal(err)
+		}
+		cands, err := char.ProposeSeeds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cands
+	}
+	serial := proposeWith(1)
+	if len(serial) == 0 {
+		t.Fatal("no candidates proposed")
+	}
+	for _, workers := range []int{2, 8} {
+		par := proposeWith(workers)
+		if len(par) != len(serial) {
+			t.Fatalf("parallelism=%d proposed %d candidates, serial %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].Test.Name != serial[i].Test.Name ||
+				par[i].Severity != serial[i].Severity ||
+				par[i].Confidence != serial[i].Confidence {
+				t.Fatalf("parallelism=%d candidate %d = %s/%g/%g, serial %s/%g/%g",
+					workers, i, par[i].Test.Name, par[i].Severity, par[i].Confidence,
+					serial[i].Test.Name, serial[i].Severity, serial[i].Confidence)
+			}
+		}
+	}
+}
+
 func smallTable1Config(seed int64) Table1Config {
 	return Table1Config{
 		Flow:             quickConfig(seed),

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/parallel"
 )
@@ -16,6 +17,11 @@ import (
 // disagreement (consistency check).
 type Ensemble struct {
 	members []*Network
+
+	// scratch pools EnsembleScratch arenas for the convenience entry
+	// points (Vote, Predict, Evaluate) that do not take a caller-owned
+	// arena.
+	scratch sync.Pool
 }
 
 // NewEnsemble trains n member networks on independent bootstrap resamples
@@ -88,34 +94,87 @@ func (e *Ensemble) Inputs() int { return e.members[0].Inputs() }
 // Outputs returns the ensemble output width.
 func (e *Ensemble) Outputs() int { return e.members[0].Outputs() }
 
+// EnsembleScratch is the reusable per-goroutine workspace of one voting
+// machine: a per-member network arena, a flat member-prediction matrix and
+// the averaging buffer. Like Scratch, it may be reused across any number of
+// calls but must never be shared between concurrently running goroutines —
+// hand each internal/parallel worker its own via NewScratch.
+type EnsembleScratch struct {
+	nets []*Scratch
+	outs []float64 // row-major [members][Outputs()] member predictions
+	avg  []float64
+}
+
+// NewScratch allocates a voting workspace sized for this ensemble.
+func (e *Ensemble) NewScratch() *EnsembleScratch {
+	s := &EnsembleScratch{
+		nets: make([]*Scratch, len(e.members)),
+		outs: make([]float64, len(e.members)*e.Outputs()),
+		avg:  make([]float64, e.Outputs()),
+	}
+	for i, m := range e.members {
+		s.nets[i] = m.NewScratch()
+	}
+	return s
+}
+
+func (e *Ensemble) getScratch() *EnsembleScratch {
+	if s, ok := e.scratch.Get().(*EnsembleScratch); ok {
+		return s
+	}
+	return e.NewScratch()
+}
+
+func (e *Ensemble) putScratch(s *EnsembleScratch) { e.scratch.Put(s) }
+
+// VoteInto is Vote with a caller-owned scratch arena: zero allocations in
+// steady state. The returned prediction aliases the scratch and is valid
+// until its next use; copy it out to retain it.
+func (e *Ensemble) VoteInto(s *EnsembleScratch, input []float64) (avg []float64, confidence float64, err error) {
+	width := e.Outputs()
+	if len(s.nets) != len(e.members) || len(s.outs) != len(e.members)*width {
+		*s = *e.NewScratch()
+	}
+	for i, m := range e.members {
+		dst := s.outs[i*width : (i+1)*width : (i+1)*width]
+		if err := m.PredictInto(s.nets[i], input, dst); err != nil {
+			return nil, 0, err
+		}
+	}
+	avg = s.avg
+	for j := range avg {
+		avg[j] = 0
+	}
+	for i := range e.members {
+		for j, v := range s.outs[i*width : (i+1)*width] {
+			avg[j] += v
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(len(e.members))
+	}
+	var spread float64
+	for i := range e.members {
+		spread += math.Sqrt(MSE(s.outs[i*width:(i+1)*width], avg))
+	}
+	spread /= float64(len(e.members))
+	return avg, 1 / (1 + spread*10), nil
+}
+
 // Vote runs every member on the input and returns the averaged prediction
 // together with the confidence: 1/(1+meanDisagreement), where the
 // disagreement is the mean RMS spread of member outputs around the average.
 // Unanimous members give confidence → 1.
 func (e *Ensemble) Vote(input []float64) (avg []float64, confidence float64, err error) {
-	preds := make([][]float64, len(e.members))
-	for i, m := range e.members {
-		p, err := m.Predict(input)
-		if err != nil {
-			return nil, 0, err
-		}
-		preds[i] = p
+	s := e.getScratch()
+	p, conf, err := e.VoteInto(s, input)
+	if err != nil {
+		e.putScratch(s)
+		return nil, 0, err
 	}
-	avg = make([]float64, e.Outputs())
-	for _, p := range preds {
-		for j, v := range p {
-			avg[j] += v
-		}
-	}
-	for j := range avg {
-		avg[j] /= float64(len(preds))
-	}
-	var spread float64
-	for _, p := range preds {
-		spread += math.Sqrt(MSE(p, avg))
-	}
-	spread /= float64(len(preds))
-	return avg, 1 / (1 + spread*10), nil
+	avg = append([]float64(nil), p...)
+	e.putScratch(s)
+	return avg, conf, nil
 }
 
 // Predict returns only the averaged prediction.
@@ -124,19 +183,58 @@ func (e *Ensemble) Predict(input []float64) ([]float64, error) {
 	return avg, err
 }
 
+// VoteBatch scores a whole dataset of input vectors with one scratch arena:
+// the averaged predictions (rows of a single flat backing array) and the
+// per-input voting confidences. The two result slices are the only
+// allocations of the call.
+func (e *Ensemble) VoteBatch(inputs [][]float64) (avgs [][]float64, confidences []float64, err error) {
+	width := e.Outputs()
+	flat := make([]float64, len(inputs)*width)
+	avgs = make([][]float64, len(inputs))
+	confidences = make([]float64, len(inputs))
+	s := e.getScratch()
+	defer e.putScratch(s)
+	for i, in := range inputs {
+		p, conf, err := e.VoteInto(s, in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("neural: batch input %d: %w", i, err)
+		}
+		row := flat[i*width : (i+1)*width : (i+1)*width]
+		copy(row, p)
+		avgs[i] = row
+		confidences[i] = conf
+	}
+	return avgs, confidences, nil
+}
+
+// PredictBatch returns only the averaged predictions for a whole dataset.
+func (e *Ensemble) PredictBatch(inputs [][]float64) ([][]float64, error) {
+	avgs, _, err := e.VoteBatch(inputs)
+	return avgs, err
+}
+
 // Evaluate returns the mean MSE of the averaged prediction over a dataset
 // (the ensemble generalization check).
 func (e *Ensemble) Evaluate(d Dataset) (float64, error) {
+	s := e.getScratch()
+	mse, err := e.EvaluateWith(s, d)
+	e.putScratch(s)
+	return mse, err
+}
+
+// EvaluateWith is Evaluate with a caller-owned scratch arena — zero
+// allocations across the whole dataset sweep.
+func (e *Ensemble) EvaluateWith(s *EnsembleScratch, d Dataset) (float64, error) {
 	if len(d) == 0 {
 		return 0, nil
 	}
-	var s float64
+	var sum float64
 	for _, smp := range d {
-		p, err := e.Predict(smp.Input)
+		p, _, err := e.VoteInto(s, smp.Input)
 		if err != nil {
 			return 0, err
 		}
-		s += MSE(p, smp.Target)
+		sum += MSE(p, smp.Target)
 	}
-	return s / float64(len(d)), nil
+	return sum / float64(len(d)), nil
 }

@@ -45,12 +45,22 @@ func DefaultGATrainConfig(seed int64) GATrainConfig {
 
 // flatten serializes all weights and biases into one chromosome.
 func (n *Network) flatten() []float64 {
-	var out []float64
+	out := make([]float64, 0, n.ChromosomeLen())
 	for _, l := range n.layers {
 		out = append(out, l.w...)
 		out = append(out, l.b...)
 	}
 	return out
+}
+
+// flattenInto writes the chromosome into dst (length ChromosomeLen)
+// without allocating — the snapshot primitive of the training loops.
+func (n *Network) flattenInto(dst []float64) {
+	i := 0
+	for _, l := range n.layers {
+		i += copy(dst[i:], l.w)
+		i += copy(dst[i:], l.b)
+	}
 }
 
 // unflatten installs a chromosome into the network.
@@ -100,15 +110,19 @@ func (n *Network) TrainGA(train, val Dataset, cfg GATrainConfig) (TrainReport, e
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	genes := len(n.flatten())
+	genes := n.ChromosomeLen()
 
 	type indiv struct {
 		genes []float64
 		err   float64
 	}
+	// One scratch arena serves every fitness evaluation of the run: the GA
+	// calls the forward kernel PopSize×Generations times, so the per-call
+	// allocation of the naive path dominates without it.
+	sc := n.NewScratch()
 	evalGenes := func(g []float64) float64 {
 		n.unflatten(g)
-		return n.Evaluate(train)
+		return n.EvaluateWith(sc, train)
 	}
 
 	// Initial population: the current weights plus randomized variants.
@@ -140,7 +154,7 @@ func (n *Network) TrainGA(train, val Dataset, cfg GATrainConfig) (TrainReport, e
 		valErr := pop[0].err
 		if len(val) > 0 {
 			n.unflatten(pop[0].genes)
-			valErr = n.Evaluate(val)
+			valErr = n.EvaluateWith(sc, val)
 		}
 		rep.ValErrCurve = append(rep.ValErrCurve, valErr)
 		rep.ValErr = valErr
@@ -190,9 +204,9 @@ func (n *Network) TrainGA(train, val Dataset, cfg GATrainConfig) (TrainReport, e
 	}
 
 	n.unflatten(bestGenes)
-	rep.TrainErr = n.Evaluate(train)
+	rep.TrainErr = n.EvaluateWith(sc, train)
 	if len(val) > 0 {
-		rep.ValErr = n.Evaluate(val)
+		rep.ValErr = n.EvaluateWith(sc, val)
 	} else {
 		rep.ValErr = rep.TrainErr
 	}

@@ -34,7 +34,11 @@ func PermutationImportance(e *Ensemble, data Dataset, seed int64, rounds int) ([
 	if rounds < 1 {
 		rounds = 3
 	}
-	base, err := e.Evaluate(data)
+	// One scratch arena serves the base evaluation and every perturbation
+	// sweep: features × rounds full-dataset voting passes reuse the same
+	// flat buffers instead of allocating per prediction.
+	sc := e.NewScratch()
+	base, err := e.EvaluateWith(sc, data)
 	if err != nil {
 		return nil, err
 	}
@@ -51,19 +55,19 @@ func PermutationImportance(e *Ensemble, data Dataset, seed int64, rounds int) ([
 
 	out := make([]FeatureImportance, e.Inputs())
 	perm := make([]int, len(work))
+	orig := make([]float64, len(work))
 	for f := 0; f < e.Inputs(); f++ {
 		var delta float64
 		for r := 0; r < rounds; r++ {
 			copy(perm, rng.Perm(len(work)))
 			// Shuffle column f.
-			orig := make([]float64, len(work))
 			for i := range work {
 				orig[i] = work[i].Input[f]
 			}
 			for i := range work {
 				work[i].Input[f] = orig[perm[i]]
 			}
-			mse, err := e.Evaluate(work)
+			mse, err := e.EvaluateWith(sc, work)
 			if err != nil {
 				return nil, err
 			}

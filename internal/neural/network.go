@@ -4,12 +4,20 @@
 // training loop, the multi-network voting machine the paper uses to judge
 // classification confidence, and the weight-file serialization that carries
 // the learned characterization knowledge into the optimization phase.
+//
+// The compute kernels are allocation-free in steady state: forward and
+// backward passes run over flat row-major weight buffers into a reusable
+// Scratch arena sized once per topology, and the batch entry points
+// (PredictBatch, EvaluateWith, VoteBatch) amortize one arena across a whole
+// dataset. Buffer reuse never changes arithmetic order, so results are
+// bit-identical to the naive per-call-allocation formulation.
 package neural
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Activation selects a layer nonlinearity.
@@ -74,11 +82,17 @@ type layer struct {
 }
 
 // Network is a feedforward multilayer perceptron. Construct with New; the
-// zero value is not usable. Not safe for concurrent training; Predict is
-// safe for concurrent use only if no training runs concurrently.
+// zero value is not usable. Not safe for concurrent training; Predict and
+// the *Into/*Batch entry points with caller-owned Scratch arenas are safe
+// for concurrent use only if no training runs concurrently.
 type Network struct {
 	sizes  []int
 	layers []layer
+
+	// scratch pools arenas for the convenience entry points (Predict,
+	// Evaluate) that do not take a caller-owned Scratch, keeping them
+	// allocation-free in steady state while staying concurrency-safe.
+	scratch sync.Pool
 }
 
 // New builds an MLP with the given layer sizes (inputs first, outputs
@@ -126,14 +140,97 @@ func (n *Network) Outputs() int { return n.sizes[len(n.sizes)-1] }
 // Sizes returns a copy of the layer sizes.
 func (n *Network) Sizes() []int { return append([]int(nil), n.sizes...) }
 
-// forward runs the network and returns the activation of every layer
-// (index 0 is the input itself), for backprop.
-func (n *Network) forward(input []float64) [][]float64 {
-	acts := make([][]float64, len(n.layers)+1)
-	acts[0] = input
+// Scratch is the reusable per-goroutine workspace of one network topology:
+// a flat activation arena for the forward pass and two ping-pong delta
+// buffers for backprop, sized once. A Scratch may be reused across any
+// number of calls — every buffer is fully overwritten — but must never be
+// shared between concurrently running goroutines; give each worker its own
+// (see internal/parallel's per-worker resource contract).
+type Scratch struct {
+	// acts[0] aliases the current input; acts[1:] are carved from buf.
+	acts [][]float64
+	buf  []float64
+	// delta/prev are the backprop ping-pong buffers, sized to the widest
+	// layer of the topology.
+	delta []float64
+	prev  []float64
+}
+
+// NewScratch allocates a workspace arena sized for this network's topology.
+func (n *Network) NewScratch() *Scratch {
+	total, widest := 0, 0
+	for _, w := range n.sizes {
+		if w > widest {
+			widest = w
+		}
+	}
+	for _, l := range n.layers {
+		total += l.out
+	}
+	s := &Scratch{
+		acts:  make([][]float64, len(n.layers)+1),
+		buf:   make([]float64, total),
+		delta: make([]float64, widest),
+		prev:  make([]float64, widest),
+	}
+	off := 0
+	for i, l := range n.layers {
+		s.acts[i+1] = s.buf[off : off+l.out : off+l.out]
+		off += l.out
+	}
+	return s
+}
+
+// fits reports whether the scratch was sized for this network's topology.
+func (s *Scratch) fits(n *Network) bool {
+	if s == nil || len(s.acts) != len(n.layers)+1 {
+		return false
+	}
+	for i, l := range n.layers {
+		if len(s.acts[i+1]) != l.out {
+			return false
+		}
+	}
+	widest := 0
+	for _, w := range n.sizes {
+		if w > widest {
+			widest = w
+		}
+	}
+	return len(s.delta) >= widest && len(s.prev) >= widest
+}
+
+// ensure rebuilds a mismatched scratch in place, so an arena built for one
+// topology degrades gracefully (one realloc) instead of corrupting results
+// when handed to a differently shaped network.
+func (n *Network) ensure(s *Scratch) *Scratch {
+	if !s.fits(n) {
+		*s = *n.NewScratch()
+	}
+	return s
+}
+
+// getScratch takes a pooled arena (or builds the first one).
+func (n *Network) getScratch() *Scratch {
+	if s, ok := n.scratch.Get().(*Scratch); ok {
+		return s
+	}
+	return n.NewScratch()
+}
+
+func (n *Network) putScratch(s *Scratch) { n.scratch.Put(s) }
+
+// forwardInto runs the forward pass with every layer activation stored in
+// the scratch arena (acts[0] is the input itself, for backprop), returning
+// the output activation. The returned slice is owned by the scratch and
+// valid until its next use. Allocation-free.
+func (n *Network) forwardInto(s *Scratch, input []float64) []float64 {
+	n.ensure(s)
+	s.acts[0] = input
 	cur := input
-	for li, l := range n.layers {
-		next := make([]float64, l.out)
+	for li := range n.layers {
+		l := &n.layers[li]
+		next := s.acts[li+1]
 		for o := 0; o < l.out; o++ {
 			sum := l.b[o]
 			row := l.w[o*l.in : (o+1)*l.in]
@@ -142,20 +239,54 @@ func (n *Network) forward(input []float64) [][]float64 {
 			}
 			next[o] = l.act.apply(sum)
 		}
-		acts[li+1] = next
 		cur = next
 	}
-	return acts
+	return cur
+}
+
+// PredictInto runs the network on one input vector, writing the prediction
+// into dst (length Outputs()) using the caller-owned scratch arena.
+// Allocation-free; safe for concurrent use with one Scratch per goroutine.
+func (n *Network) PredictInto(s *Scratch, input, dst []float64) error {
+	if len(input) != n.Inputs() {
+		return fmt.Errorf("neural: input width %d, network expects %d", len(input), n.Inputs())
+	}
+	if len(dst) != n.Outputs() {
+		return fmt.Errorf("neural: output buffer width %d, network produces %d", len(dst), n.Outputs())
+	}
+	copy(dst, n.forwardInto(s, input))
+	return nil
 }
 
 // Predict runs the network on one input vector.
 func (n *Network) Predict(input []float64) ([]float64, error) {
-	if len(input) != n.Inputs() {
-		return nil, fmt.Errorf("neural: input width %d, network expects %d", len(input), n.Inputs())
+	out := make([]float64, n.Outputs())
+	s := n.getScratch()
+	err := n.PredictInto(s, input, out)
+	n.putScratch(s)
+	if err != nil {
+		return nil, err
 	}
-	acts := n.forward(input)
-	out := acts[len(acts)-1]
-	return append([]float64(nil), out...), nil
+	return out, nil
+}
+
+// PredictBatch runs the network over a whole dataset of input vectors,
+// reusing one scratch arena across all of them. The returned rows share a
+// single flat backing array — the only allocations of the call.
+func (n *Network) PredictBatch(inputs [][]float64) ([][]float64, error) {
+	width := n.Outputs()
+	flat := make([]float64, len(inputs)*width)
+	out := make([][]float64, len(inputs))
+	s := n.getScratch()
+	defer n.putScratch(s)
+	for i, in := range inputs {
+		row := flat[i*width : (i+1)*width : (i+1)*width]
+		if err := n.PredictInto(s, in, row); err != nil {
+			return nil, fmt.Errorf("neural: batch input %d: %w", i, err)
+		}
+		out[i] = row
+	}
+	return out, nil
 }
 
 // MSE returns the mean squared error between two equal-length vectors.

@@ -3,6 +3,7 @@ package neural
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -148,13 +149,20 @@ func (n *Network) Train(train, val Dataset, cfg TrainConfig) (TrainReport, error
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	// Momentum buffers mirror the weight layout.
+
+	// Steady-state-allocation-free training state, sized once per call:
+	// the forward/backprop scratch arena, momentum buffers mirroring the
+	// flat weight layout, and a flat snapshot of the best-validation
+	// weights (replacing a full network Clone per improved epoch).
+	sc := n.NewScratch()
 	vw := make([][]float64, len(n.layers))
 	vb := make([][]float64, len(n.layers))
 	for i, l := range n.layers {
 		vw[i] = make([]float64, len(l.w))
 		vb[i] = make([]float64, len(l.b))
 	}
+	bestW := make([]float64, n.ChromosomeLen())
+	n.flattenInto(bestW)
 
 	order := make([]int, len(train))
 	for i := range order {
@@ -162,7 +170,8 @@ func (n *Network) Train(train, val Dataset, cfg TrainConfig) (TrainReport, error
 	}
 
 	var rep TrainReport
-	best := n.Clone()
+	rep.ErrCurve = make([]float64, 0, cfg.Epochs)
+	rep.ValErrCurve = make([]float64, 0, cfg.Epochs)
 	rep.BestValErr = inf()
 	sinceBest := 0
 
@@ -173,45 +182,56 @@ func (n *Network) Train(train, val Dataset, cfg TrainConfig) (TrainReport, error
 		var trainErr float64
 		for _, si := range order {
 			s := train[si]
-			acts := n.forward(s.Input)
-			out := acts[len(acts)-1]
+			out := n.forwardInto(sc, s.Input)
 			trainErr += MSE(out, s.Target)
 
-			// Backward pass: delta per layer.
-			delta := make([]float64, len(out))
-			lastLayer := n.layers[len(n.layers)-1]
+			// Backward pass: delta per layer, ping-ponging between the two
+			// scratch delta buffers. Per (layer, output) the pass is two
+			// contiguous axpy-style sweeps over the flat weight row — the
+			// delta back-accumulation reads the pre-update row exactly as
+			// the interleaved reference formulation does, so results stay
+			// bit-identical.
+			delta := sc.delta[:len(out)]
+			lastLayer := &n.layers[len(n.layers)-1]
 			for o := range out {
 				delta[o] = (out[o] - s.Target[o]) * lastLayer.act.derivFromOutput(out[o])
 			}
 			for li := len(n.layers) - 1; li >= 0; li-- {
 				l := &n.layers[li]
-				in := acts[li]
+				in := sc.acts[li]
 				var prevDelta []float64
 				if li > 0 {
-					prevDelta = make([]float64, l.in)
+					prevDelta = sc.prev[:l.in]
+					for i := range prevDelta {
+						prevDelta[i] = 0
+					}
 				}
+				vwl, vbl := vw[li], vb[li]
 				for o := 0; o < l.out; o++ {
 					row := l.w[o*l.in : (o+1)*l.in]
+					vrow := vwl[o*l.in : (o+1)*l.in]
 					d := delta[o]
-					for i := range row {
-						if li > 0 {
-							prevDelta[i] += row[i] * d
+					if li > 0 {
+						for i, w := range row {
+							prevDelta[i] += w * d
 						}
-						g := d * in[i]
-						v := cfg.Momentum*vw[li][o*l.in+i] - cfg.LearningRate*g
-						vw[li][o*l.in+i] = v
+					}
+					for i := range row {
+						v := cfg.Momentum*vrow[i] - cfg.LearningRate*(d*in[i])
+						vrow[i] = v
 						row[i] += v
 					}
-					v := cfg.Momentum*vb[li][o] - cfg.LearningRate*d
-					vb[li][o] = v
+					v := cfg.Momentum*vbl[o] - cfg.LearningRate*d
+					vbl[o] = v
 					l.b[o] += v
 				}
 				if li > 0 {
-					below := acts[li]
+					below := sc.acts[li]
 					act := n.layers[li-1].act
 					for i := range prevDelta {
 						prevDelta[i] *= act.derivFromOutput(below[i])
 					}
+					sc.delta, sc.prev = sc.prev, sc.delta
 					delta = prevDelta
 				}
 			}
@@ -223,14 +243,14 @@ func (n *Network) Train(train, val Dataset, cfg TrainConfig) (TrainReport, error
 
 		valErr := trainErr
 		if len(val) > 0 {
-			valErr = n.Evaluate(val)
+			valErr = n.EvaluateWith(sc, val)
 		}
 		rep.ValErrCurve = append(rep.ValErrCurve, valErr)
 		rep.ValErr = valErr
 
 		if valErr < rep.BestValErr {
 			rep.BestValErr = valErr
-			best = n.Clone()
+			n.flattenInto(bestW)
 			sinceBest = 0
 		} else {
 			sinceBest++
@@ -248,11 +268,11 @@ func (n *Network) Train(train, val Dataset, cfg TrainConfig) (TrainReport, error
 	}
 
 	// Restore the best-validation snapshot.
-	n.layers = best.layers
+	n.unflatten(bestW)
 	if len(val) > 0 {
-		rep.ValErr = n.Evaluate(val)
+		rep.ValErr = n.EvaluateWith(sc, val)
 	}
-	rep.TrainErr = n.Evaluate(train)
+	rep.TrainErr = n.EvaluateWith(sc, train)
 	rep.Learned = rep.TrainErr <= cfg.LearnTarget
 	rep.Generalized = rep.ValErr <= cfg.GeneralizeTarget
 	return rep, nil
@@ -260,15 +280,25 @@ func (n *Network) Train(train, val Dataset, cfg TrainConfig) (TrainReport, error
 
 // Evaluate returns the mean MSE of the network over the dataset.
 func (n *Network) Evaluate(d Dataset) float64 {
+	sc := n.getScratch()
+	mse := n.EvaluateWith(sc, d)
+	n.putScratch(sc)
+	return mse
+}
+
+// EvaluateWith is Evaluate with a caller-owned scratch arena: one forward
+// pass per sample, zero allocations. Safe for concurrent use with one
+// Scratch per goroutine.
+func (n *Network) EvaluateWith(sc *Scratch, d Dataset) float64 {
 	if len(d) == 0 {
 		return 0
 	}
+	n.ensure(sc)
 	var s float64
 	for _, smp := range d {
-		acts := n.forward(smp.Input)
-		s += MSE(acts[len(acts)-1], smp.Target)
+		s += MSE(n.forwardInto(sc, smp.Input), smp.Target)
 	}
 	return s / float64(len(d))
 }
 
-func inf() float64 { return 1e308 }
+func inf() float64 { return math.Inf(1) }
