@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-parallel bench-obs bench-kernels
+.PHONY: check test bench bench-parallel bench-obs bench-kernels tracestat
 
 # The full CI gate: vet + build + race-enabled tests + the telemetry smoke
 # run + the short benchmark passes that write BENCH_parallel.json,
@@ -26,3 +26,10 @@ bench-obs:
 # ensemble voting and the batched entry point.
 bench-kernels:
 	go test -run '^$$' -bench 'LearningKernels' -benchmem -benchtime 20x -timeout 10m .
+
+# Record a short instrumented run and analyze its trace: per-phase cost
+# rollups, the critical path, and a Chrome trace-event export to load at
+# chrome://tracing or ui.perfetto.dev.
+tracestat:
+	go run ./cmd/characterize -learn-tests 20 -trace /tmp/repro-demo.jsonl > /dev/null
+	go run ./cmd/tracestat -chrome /tmp/repro-demo.chrome.json /tmp/repro-demo.jsonl

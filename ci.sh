@@ -35,6 +35,66 @@ grep -q "run report: characterize" "$SMOKE_DIR/report.txt" || {
 }
 echo "trace deterministic across worker counts ($(wc -l < "$SMOKE_DIR/p1.jsonl") events); report and metrics written"
 
+echo "== live observability smoke run =="
+go build -o "$SMOKE_DIR/characterize" ./cmd/characterize
+"$SMOKE_DIR/characterize" -learn-tests 20 -parallel 4 -listen 127.0.0.1:0 \
+	-trace "$SMOKE_DIR/plisten.jsonl" > /dev/null 2> "$SMOKE_DIR/obs.stderr" &
+OBS_PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's#^obs: serving http://\([^/]*\)/.*#\1#p' "$SMOKE_DIR/obs.stderr")
+	[ -n "$ADDR" ] && break
+	kill -0 "$OBS_PID" 2> /dev/null || break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "FAIL: characterize -listen never announced its address" >&2
+	cat "$SMOKE_DIR/obs.stderr" >&2
+	exit 1
+fi
+curl -sf "http://$ADDR/healthz" > /dev/null || {
+	echo "FAIL: /healthz not answering on $ADDR" >&2
+	exit 1
+}
+SCRAPED=""
+while kill -0 "$OBS_PID" 2> /dev/null; do
+	if curl -sf "http://$ADDR/metrics" > "$SMOKE_DIR/scrape.prom" 2> /dev/null \
+		&& grep -Eq '^repro_search_total\{[^}]*\} [1-9]' "$SMOKE_DIR/scrape.prom"; then
+		SCRAPED=yes
+		break
+	fi
+	sleep 0.1
+done
+if [ -z "$SCRAPED" ]; then
+	echo "FAIL: never scraped a nonzero repro_search_total from the live /metrics" >&2
+	exit 1
+fi
+wait "$OBS_PID" || {
+	echo "FAIL: characterize -listen exited nonzero" >&2
+	cat "$SMOKE_DIR/obs.stderr" >&2
+	exit 1
+}
+cmp "$SMOKE_DIR/plisten.jsonl" "$SMOKE_DIR/p1.jsonl" || {
+	echo "FAIL: -listen changed the telemetry trace bytes" >&2
+	exit 1
+}
+echo "live /metrics scraped on $ADDR; trace bit-identical with -listen on"
+
+echo "== tracestat =="
+go run ./cmd/tracestat -chrome "$SMOKE_DIR/p1.chrome.json" "$SMOKE_DIR/p1.jsonl" > "$SMOKE_DIR/tracestat.txt"
+grep -q "critical path" "$SMOKE_DIR/tracestat.txt" || {
+	echo "FAIL: tracestat produced no critical-path summary" >&2
+	cat "$SMOKE_DIR/tracestat.txt" >&2
+	exit 1
+}
+grep -q '"traceEvents"' "$SMOKE_DIR/p1.chrome.json" || {
+	echo "FAIL: tracestat -chrome wrote no trace-event JSON" >&2
+	exit 1
+}
+echo "tracestat rollups and Chrome export OK"
+
 echo "== benchmarks =="
 BENCH_OUT=$(go test -run '^$' \
 	-bench '^(BenchmarkFigure5OptimizationScheme|BenchmarkTable1FullComparison)$' \

@@ -89,6 +89,7 @@ func main() {
 		sweep.Event("test", telemetry.I("i", index),
 			telemetry.I("measurements", cost.Measurements),
 			telemetry.I("vectors", cost.VectorsApplied))
+		tel.RecordItem("shmoo-test", index+1, len(batch))
 	}
 	if err := plot.AddTestsParallel(tester, batch, *seed, *par); err != nil {
 		log.Fatal(err)

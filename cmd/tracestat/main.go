@@ -1,0 +1,71 @@
+// tracestat analyzes the JSONL trace files the pipeline binaries emit via
+// -trace: per-phase cost rollups, a critical-path summary, and optional
+// Chrome trace-event export for chrome://tracing / Perfetto.
+//
+// Usage:
+//
+//	tracestat run.jsonl
+//	tracestat -top 5 run.jsonl
+//	tracestat -chrome run.chrome.json run.jsonl
+//
+// Traces carry no wall-clock time (the determinism contract), so the
+// rollups rank by deterministic simulated tester seconds and the Chrome
+// export uses sequence numbers as microsecond ticks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	top := flag.Int("top", 20, "rollup rows to print (0 = all)")
+	chrome := flag.String("chrome", "", "write Chrome trace-event JSON to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracestat [flags] trace.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), *top, *chrome); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, top int, chromePath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	tr, err := obs.ParseTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tr.Summary(top))
+
+	if chromePath != "" {
+		out, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(out, tr); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nchrome trace: %s (load at chrome://tracing or ui.perfetto.dev)\n", chromePath)
+	}
+	return nil
+}

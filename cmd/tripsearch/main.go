@@ -121,6 +121,7 @@ func main() {
 		for _, m := range dsv.Values {
 			tel.RecordSearch(m.Measurements, fullBudget, m.Converged)
 		}
+		tel.RecordItem("algorithm", i+1, len(algos))
 		span.End(telemetry.I("measurements", int64(dsv.TotalMeasurements())))
 		compareCost.Measurements += int64(dsv.TotalMeasurements())
 		s := dsv.Stats()

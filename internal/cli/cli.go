@@ -1,10 +1,10 @@
 // Package cli is the shared command-line substrate of the cmd/ binaries:
 // one flag-registration helper so every tool spells the common knobs the
 // same way (-seed, -parallel, -no-cache, -trace, -metrics, -report,
-// -cpuprofile, -memprofile), plus the telemetry bootstrap that turns those
-// flags into a live run-telemetry handle, a worker-pool observer and an
-// end-of-run report, and the pprof bootstrap for profiling the compute
-// kernels.
+// -listen, -cpuprofile, -memprofile), plus the telemetry bootstrap that
+// turns those flags into a live run-telemetry handle, a worker-pool
+// observer, an optional live observability HTTP server and an end-of-run
+// report, and the pprof bootstrap for profiling the compute kernels.
 package cli
 
 import (
@@ -16,6 +16,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/ate"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
 )
@@ -29,9 +30,13 @@ type Common struct {
 	TracePath   string
 	MetricsPath string
 	Report      bool
+	Listen      string
 
 	CPUProfilePath string
 	MemProfilePath string
+
+	server   *obs.Server
+	progress *obs.Progress
 }
 
 // Register installs the shared flags on the flag set (flag.CommandLine when
@@ -48,6 +53,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.TracePath, "trace", "", "write a structured JSONL event trace here (bit-identical for any -parallel)")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write the end-of-run metrics snapshot as JSON here")
 	fs.BoolVar(&c.Report, "report", false, "print the run report (phase breakdown, cache hit rate, measurements saved) on exit")
+	fs.StringVar(&c.Listen, "listen", "", "serve live observability HTTP (Prometheus /metrics, /progress SSE, /debug/pprof) on this addr:port while the run lasts (:0 picks a free port)")
 	fs.StringVar(&c.CPUProfilePath, "cpuprofile", "", "write a pprof CPU profile of the run here")
 	fs.StringVar(&c.MemProfilePath, "memprofile", "", "write a pprof heap profile (after a final GC) here on exit")
 	return c
@@ -98,12 +104,15 @@ func (c *Common) StartProfiles() (stop func() error, err error) {
 
 // TelemetryEnabled reports whether any telemetry output was requested.
 func (c *Common) TelemetryEnabled() bool {
-	return c.TracePath != "" || c.MetricsPath != "" || c.Report
+	return c.TracePath != "" || c.MetricsPath != "" || c.Report || c.Listen != ""
 }
 
 // StartTelemetry opens the run telemetry the flags describe and installs
-// the worker-pool observer. Returns nil (a fully inert handle) when no
-// telemetry output was requested.
+// the worker-pool observer. With -listen set it also starts the live
+// observability HTTP server and announces its address on stderr; the live
+// feed taps the same deterministic hook points as the trace, so trace
+// bytes are identical with and without it. Returns nil (a fully inert
+// handle) when no telemetry output was requested.
 func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 	if !c.TelemetryEnabled() {
 		return nil, nil
@@ -117,18 +126,47 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 		}
 	}
 	tel := telemetry.New(runName, tracer)
-	parallel.SetObserver(tel.ObservePool)
+	poolObserver := parallel.Observer(tel.ObservePool)
+	if c.Listen != "" {
+		progress := obs.NewProgress(runName)
+		tel.SetRunObserver(progress)
+		poolObserver = func(workers int, tasksPerWorker []int) {
+			tel.ObservePool(workers, tasksPerWorker)
+			total := 0
+			for _, n := range tasksPerWorker {
+				total += n
+			}
+			progress.PoolRun(workers, total)
+		}
+		srv, err := obs.Start(c.Listen, obs.Options{
+			Run:      runName,
+			Metrics:  tel.Registry().Snapshot,
+			Progress: progress,
+		})
+		if err != nil {
+			tel.Close()
+			return nil, fmt.Errorf("cli: starting observability server: %w", err)
+		}
+		c.server = srv
+		c.progress = progress
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (metrics, progress, pprof)\n", srv.Addr())
+	}
+	parallel.SetObserver(poolObserver)
 	return tel, nil
 }
 
 // FinishTelemetry closes out the run: writes the -metrics snapshot, prints
-// the -report run report to w, uninstalls the pool observer and closes the
-// trace. total is the whole run's tester cost. Nil tel is a no-op.
+// the -report run report to w, uninstalls the pool observer, shuts the
+// -listen server down and closes the trace. Sink I/O failures (a full
+// disk, a closed pipe) surface as errors so the binaries exit nonzero
+// instead of silently shipping a truncated trace or report. total is the
+// whole run's tester cost. Nil tel is a no-op.
 func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total ate.Stats) error {
 	if tel == nil {
 		return nil
 	}
 	parallel.SetObserver(nil)
+	c.progress.Done()
 	rep := tel.Report(Cost(total))
 	if c.MetricsPath != "" {
 		f, err := os.Create(c.MetricsPath)
@@ -137,16 +175,29 @@ func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total at
 		}
 		if err := rep.Metrics.WriteJSON(f); err != nil {
 			f.Close()
-			return err
+			return fmt.Errorf("cli: writing metrics: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return fmt.Errorf("cli: closing metrics: %w", err)
 		}
 	}
 	if c.Report {
-		fmt.Fprint(w, rep.Render())
+		if _, err := fmt.Fprint(w, rep.Render()); err != nil {
+			return fmt.Errorf("cli: printing report: %w", err)
+		}
 	}
-	return tel.Close()
+	if c.server != nil {
+		// Let in-flight /progress streams drain the done state first.
+		if err := c.server.Close(); err != nil {
+			return fmt.Errorf("cli: closing observability server: %w", err)
+		}
+		c.server = nil
+		c.progress = nil
+	}
+	if err := tel.Close(); err != nil {
+		return fmt.Errorf("cli: closing trace: %w", err)
+	}
+	return nil
 }
 
 // Cost converts tester counters into a telemetry cost.

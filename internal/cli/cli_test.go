@@ -3,13 +3,17 @@ package cli
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/ate"
+	"repro/internal/telemetry"
 )
 
 func TestRegisterDefaults(t *testing.T) {
@@ -168,6 +172,137 @@ func TestStartFinishTelemetryEndToEnd(t *testing.T) {
 	counters, ok := snap["counters"].(map[string]any)
 	if !ok || counters["search_total"] != float64(1) {
 		t.Errorf("metrics snapshot wrong: %v", snap)
+	}
+}
+
+func TestRegisterListenFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse([]string{"-listen", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Listen != "127.0.0.1:0" {
+		t.Errorf("Listen = %q", c.Listen)
+	}
+	if !c.TelemetryEnabled() {
+		t.Error("-listen alone should enable telemetry")
+	}
+}
+
+func TestStartTelemetryWithListenServesLive(t *testing.T) {
+	dir := t.TempDir()
+	c := &Common{
+		Listen:    "127.0.0.1:0",
+		TracePath: filepath.Join(dir, "trace.jsonl"),
+	}
+	tel, err := c.StartTelemetry("live-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.server == nil || c.progress == nil {
+		t.Fatal("no live server started")
+	}
+	base := "http://" + c.server.Addr()
+
+	tel.StartPhase("work").End(Cost(ate.Stats{Measurements: 2}))
+	tel.RecordSearch(2, 10, true)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `repro_search_total{run="live-run"} 1`) {
+		t.Errorf("/metrics = %d\n%s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/readyz during run = %d", resp.StatusCode)
+	}
+
+	var buf bytes.Buffer
+	if err := c.FinishTelemetry(&buf, tel, ate.Stats{Measurements: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if c.server != nil {
+		t.Error("server handle not cleared after finish")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still serving after FinishTelemetry")
+	}
+}
+
+// TestTraceBytesIdenticalWithListen pins the -listen determinism contract
+// at the CLI layer: the live server and its progress observer must not
+// change a single trace byte.
+func TestTraceBytesIdenticalWithListen(t *testing.T) {
+	dir := t.TempDir()
+	record := func(listen string, path string) []byte {
+		t.Helper()
+		c := &Common{Listen: listen, TracePath: filepath.Join(dir, path)}
+		tel, err := c.StartTelemetry("pin-run")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph := tel.StartPhase("learn")
+		for i := 0; i < 5; i++ {
+			tel.RecordSearch(3+i, 20, true)
+			tel.RecordItem("learn-test", i+1, 5)
+			ph.Span().Event("trip", telemetry.I("i", i), telemetry.F("trip", 1.0+float64(i)/10))
+		}
+		ph.End(Cost(ate.Stats{Measurements: 25, TestTimeSec: 1.5}))
+		tel.RecordGeneration(1, 1.05)
+		if err := c.FinishTelemetry(io.Discard, tel, ate.Stats{Measurements: 25}); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(c.TracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	plain := record("", "plain.jsonl")
+	listened := record("127.0.0.1:0", "listened.jsonl")
+	if !bytes.Equal(plain, listened) {
+		t.Error("-listen changed the trace bytes")
+	}
+}
+
+func TestStartTelemetryBadListenAddr(t *testing.T) {
+	c := &Common{Listen: "127.0.0.1:notaport"}
+	if _, err := c.StartTelemetry("x"); err == nil {
+		t.Error("expected error for unparseable listen address")
+	}
+}
+
+func TestFinishTelemetryMetricsSinkError(t *testing.T) {
+	c := &Common{MetricsPath: filepath.Join(t.TempDir(), "missing-dir", "m.json")}
+	tel, err := c.StartTelemetry("sink-err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FinishTelemetry(io.Discard, tel, ate.Stats{}); err == nil {
+		t.Error("expected error for unwritable metrics path")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("pipe gone") }
+
+func TestFinishTelemetryReportSinkError(t *testing.T) {
+	c := &Common{Report: true}
+	tel, err := c.StartTelemetry("sink-err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FinishTelemetry(failWriter{}, tel, ate.Stats{}); err == nil {
+		t.Error("expected error when the report writer fails")
 	}
 }
 

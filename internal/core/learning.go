@@ -53,6 +53,7 @@ func (c *Characterizer) Learn() (*LearningResult, error) {
 			return nil, fmt.Errorf("core: learning measurement %d: %w", i, err)
 		}
 		tel.RecordSearch(m.Measurements, budget, m.Converged)
+		tel.RecordItem("learn-test", i+1, c.cfg.LearnTests)
 		ph.Span().Event("trip",
 			telemetry.I("i", i),
 			telemetry.F("trip", m.TripPoint),

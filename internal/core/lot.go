@@ -167,6 +167,7 @@ func ScreenLotParallelTel(param ate.Parameter, tests []testgen.Test, dies []*dut
 	first := true
 	for i, res := range results {
 		dr := res.dr
+		tel.RecordItem("die", i+1, len(dies))
 		rep.Dies = append(rep.Dies, dr)
 		rep.ClassCounts[dr.Class]++
 		rep.Measurements += res.cost.Measurements

@@ -56,8 +56,7 @@ func (c *Characterizer) OptimizeFrom(seeds []genetic.Seed) (*OptimizationResult,
 				telemetry.I("gen", gen),
 				telemetry.F("best_wcr", best),
 			)
-			tel.Registry().Gauge("ga_best_wcr").Set(best)
-			tel.Registry().Counter("ga_generations_total").Inc()
+			tel.RecordGeneration(gen, best)
 			if prev != nil {
 				prev(gen, best)
 			}

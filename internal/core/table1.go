@@ -118,6 +118,7 @@ func RunTable1(cfg Table1Config, tester *ate.ATE) (*Table1, error) {
 	rowStats := tester.Stats()
 	table.Stats.Add(rowStats)
 	ph.End(telCost(rowStats))
+	tel.RecordItem("table1-row", 1, 3)
 	table.Rows = append(table.Rows, Table1Row{
 		TestName:     "March Test",
 		Technique:    "Deterministic",
@@ -153,6 +154,7 @@ func RunTable1(cfg Table1Config, tester *ate.ATE) (*Table1, error) {
 	rowStats = tester.Stats()
 	table.Stats.Add(rowStats)
 	ph.End(telCost(rowStats))
+	tel.RecordItem("table1-row", 2, 3)
 	table.Rows = append(table.Rows, Table1Row{
 		TestName:     "Random Test",
 		Technique:    "Random",
@@ -186,6 +188,7 @@ func RunTable1(cfg Table1Config, tester *ate.ATE) (*Table1, error) {
 	table.Stats.Add(rowStats)
 	table.CacheHits = opt.CacheHits
 	table.CacheMisses = opt.CacheMisses
+	tel.RecordItem("table1-row", 3, 3)
 	table.Rows = append(table.Rows, Table1Row{
 		TestName:     "NNGA Test",
 		Technique:    "Neural & Genetic",

@@ -1,0 +1,410 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Offline analysis of the JSONL traces internal/telemetry emits: span-tree
+// reconstruction, per-phase/per-span cost rollups, a critical-path summary,
+// and Chrome trace-event export (load the file at chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Traces deliberately carry no wall-clock timestamps (the determinism
+// contract), so time here is logical: the sequence number orders events,
+// and the deterministic sim_time_sec payload carries the simulated tester
+// cost. The Chrome export uses sequence numbers as microsecond ticks, which
+// preserves structure and relative span extent exactly.
+
+// TraceEvent is one decoded JSONL line.
+type TraceEvent struct {
+	Seq    int64
+	Kind   string // "start", "event" or "end"
+	Span   int64
+	Parent int64
+	Name   string
+	Fields map[string]any // payload fields, JSON-decoded
+}
+
+// TraceSpan is one reconstructed node of the run → phase → task hierarchy.
+type TraceSpan struct {
+	ID       int64
+	Parent   int64
+	Name     string
+	StartSeq int64
+	EndSeq   int64 // max observed seq when the span never closed
+	Start    map[string]any
+	End      map[string]any // payload of the end line (cost counters)
+	Events   []TraceEvent
+	Children []*TraceSpan
+}
+
+// Label renders the span's display name: phase spans ("phase" with a
+// "phase" payload field) read as "phase:learn", everything else as the raw
+// span name.
+func (s *TraceSpan) Label() string {
+	for _, payload := range []map[string]any{s.Start, s.End} {
+		if v, ok := payload[s.Name].(string); ok {
+			return s.Name + ":" + v
+		}
+	}
+	return s.Name
+}
+
+// SimTime returns the span's deterministic simulated-tester seconds (0 when
+// the payload has none).
+func (s *TraceSpan) SimTime() float64 { return fieldFloat(s.End, "sim_time_sec") }
+
+// Measurements returns the span's ATE measurement count payload.
+func (s *TraceSpan) Measurements() int64 { return fieldInt(s.End, "measurements") }
+
+// Width is the span's extent in logical sequence ticks.
+func (s *TraceSpan) Width() int64 { return s.EndSeq - s.StartSeq }
+
+// Trace is a fully parsed JSONL trace.
+type Trace struct {
+	Roots  []*TraceSpan
+	Spans  map[int64]*TraceSpan
+	Events int   // total JSONL lines
+	MaxSeq int64 // highest sequence number observed
+}
+
+// ParseTrace decodes a JSONL trace stream and reconstructs the span tree.
+// Unknown or out-of-order lines fail loudly: the tracer writes strictly
+// increasing sequence numbers, so corruption is detectable.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{Spans: make(map[int64]*TraceSpan)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	lastSeq := int64(0)
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		ev, err := decodeTraceLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if ev.Seq <= lastSeq {
+			return nil, fmt.Errorf("obs: trace line %d: sequence %d not increasing (prev %d)", line, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		tr.Events++
+		tr.MaxSeq = ev.Seq
+		switch ev.Kind {
+		case "start":
+			span := &TraceSpan{
+				ID:       ev.Span,
+				Parent:   ev.Parent,
+				Name:     ev.Name,
+				StartSeq: ev.Seq,
+				Start:    ev.Fields,
+			}
+			tr.Spans[span.ID] = span
+			if parent, ok := tr.Spans[ev.Parent]; ok {
+				parent.Children = append(parent.Children, span)
+			} else {
+				tr.Roots = append(tr.Roots, span)
+			}
+		case "end":
+			span, ok := tr.Spans[ev.Span]
+			if !ok {
+				return nil, fmt.Errorf("obs: trace line %d: end of unknown span %d", line, ev.Span)
+			}
+			span.EndSeq = ev.Seq
+			span.End = ev.Fields
+		case "event":
+			if span, ok := tr.Spans[ev.Span]; ok {
+				span.Events = append(span.Events, ev)
+			}
+		default:
+			return nil, fmt.Errorf("obs: trace line %d: unknown event kind %q", line, ev.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	// Close any span the run abandoned at the stream's end.
+	for _, span := range tr.Spans {
+		if span.EndSeq == 0 {
+			span.EndSeq = tr.MaxSeq
+		}
+	}
+	return tr, nil
+}
+
+// decodeTraceLine splits one JSONL line into the envelope keys and the
+// payload fields.
+func decodeTraceLine(raw string) (TraceEvent, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(raw), &m); err != nil {
+		return TraceEvent{}, err
+	}
+	ev := TraceEvent{Fields: make(map[string]any)}
+	for k, v := range m {
+		switch k {
+		case "seq":
+			if err := json.Unmarshal(v, &ev.Seq); err != nil {
+				return TraceEvent{}, fmt.Errorf("bad seq: %w", err)
+			}
+		case "ev":
+			if err := json.Unmarshal(v, &ev.Kind); err != nil {
+				return TraceEvent{}, fmt.Errorf("bad ev: %w", err)
+			}
+		case "span":
+			if err := json.Unmarshal(v, &ev.Span); err != nil {
+				return TraceEvent{}, fmt.Errorf("bad span: %w", err)
+			}
+		case "parent":
+			if err := json.Unmarshal(v, &ev.Parent); err != nil {
+				return TraceEvent{}, fmt.Errorf("bad parent: %w", err)
+			}
+		case "name":
+			if err := json.Unmarshal(v, &ev.Name); err != nil {
+				return TraceEvent{}, fmt.Errorf("bad name: %w", err)
+			}
+		default:
+			var val any
+			if err := json.Unmarshal(v, &val); err != nil {
+				return TraceEvent{}, fmt.Errorf("bad field %q: %w", k, err)
+			}
+			ev.Fields[k] = val
+		}
+	}
+	if ev.Seq == 0 || ev.Kind == "" {
+		return TraceEvent{}, fmt.Errorf("line missing seq/ev envelope")
+	}
+	return ev, nil
+}
+
+// Rollup aggregates all spans sharing one label.
+type Rollup struct {
+	Label        string
+	Count        int
+	Measurements int64
+	Vectors      int64
+	SimTimeSec   float64
+	SeqTicks     int64 // summed logical extent
+	Events       int   // point events inside these spans
+}
+
+// Rollups aggregates every span by label, sorted by simulated time
+// descending (ties: label). This is the per-phase latency/cost table —
+// phase spans dominate it by construction.
+func (t *Trace) Rollups() []Rollup {
+	byLabel := make(map[string]*Rollup)
+	for _, span := range t.Spans {
+		label := span.Label()
+		r, ok := byLabel[label]
+		if !ok {
+			r = &Rollup{Label: label}
+			byLabel[label] = r
+		}
+		r.Count++
+		r.Measurements += span.Measurements()
+		r.Vectors += fieldInt(span.End, "vectors")
+		r.SimTimeSec += span.SimTime()
+		r.SeqTicks += span.Width()
+		r.Events += len(span.Events)
+	}
+	out := make([]Rollup, 0, len(byLabel))
+	for _, r := range byLabel {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SimTimeSec != out[j].SimTimeSec {
+			return out[i].SimTimeSec > out[j].SimTimeSec
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// CriticalPath walks from the root down the child with the largest
+// simulated-time weight (falling back to logical extent when no child
+// carries cost payloads), returning the chain root-first. This is the
+// spine a latency optimization should attack first.
+func (t *Trace) CriticalPath() []*TraceSpan {
+	if len(t.Roots) == 0 {
+		return nil
+	}
+	// Heaviest root first (there is normally exactly one: the run span).
+	root := t.Roots[0]
+	for _, r := range t.Roots[1:] {
+		if spanWeight(r) > spanWeight(root) {
+			root = r
+		}
+	}
+	var path []*TraceSpan
+	for node := root; node != nil; {
+		path = append(path, node)
+		var next *TraceSpan
+		for _, c := range node.Children {
+			if next == nil || spanWeight(c) > spanWeight(next) {
+				next = c
+			}
+		}
+		node = next
+	}
+	return path
+}
+
+// spanWeight orders spans for the critical path: simulated seconds when
+// present, else logical width scaled down so it only breaks ties among
+// cost-free spans.
+func spanWeight(s *TraceSpan) float64 {
+	if st := s.SimTime(); st > 0 {
+		return st
+	}
+	return float64(s.Width()) * 1e-12
+}
+
+// Summary renders the human-readable analysis: stream totals, the rollup
+// table, and the critical path.
+func (t *Trace) Summary(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events, %d spans, %d roots, max seq %d\n",
+		t.Events, len(t.Spans), len(t.Roots), t.MaxSeq)
+
+	rollups := t.Rollups()
+	shown := rollups
+	if top > 0 && len(shown) > top {
+		shown = shown[:top]
+	}
+	fmt.Fprintf(&b, "\n%-28s %6s %13s %13s %12s %10s %8s\n",
+		"span", "count", "measurements", "vectors", "sim time (s)", "seq ticks", "events")
+	for _, r := range shown {
+		fmt.Fprintf(&b, "%-28s %6d %13d %13d %12.3f %10d %8d\n",
+			r.Label, r.Count, r.Measurements, r.Vectors, r.SimTimeSec, r.SeqTicks, r.Events)
+	}
+	if len(shown) < len(rollups) {
+		fmt.Fprintf(&b, "… %d more span labels (raise -top)\n", len(rollups)-len(shown))
+	}
+
+	path := t.CriticalPath()
+	if len(path) > 0 {
+		// Percentages are relative to the heaviest span on the path (the
+		// run root often carries no cost payload of its own).
+		total := 0.0
+		for _, span := range path {
+			total = math.Max(total, spanWeight(span))
+		}
+		fmt.Fprintf(&b, "\ncritical path (by simulated tester time):\n")
+		for depth, span := range path {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * spanWeight(span) / total
+			}
+			width := 30 - 2*depth
+			if width < 1 {
+				width = 1
+			}
+			fmt.Fprintf(&b, "  %s%-*s %9.3f s  %5.1f%%  [seq %d–%d]\n",
+				strings.Repeat("  ", depth), width, span.Label(),
+				span.SimTime(), pct, span.StartSeq, span.EndSeq)
+		}
+	}
+	return b.String()
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete spans, "i" instants).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the trace in the Chrome trace-event JSON format.
+// Sequence numbers become microsecond ticks: spans turn into complete ("X")
+// events whose nesting Perfetto reconstructs from the tick containment, and
+// span-interior point events become thread-scoped instants. Output ordering
+// is by tick, so equal traces export byte-identically.
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	events := make([]chromeEvent, 0, t.Events)
+	for _, span := range t.Spans {
+		args := mergePayloads(span.Start, span.End)
+		dur := span.Width()
+		if dur < 1 {
+			dur = 1 // zero-width X events vanish in viewers
+		}
+		events = append(events, chromeEvent{
+			Name: span.Label(), Cat: "span", Phase: "X",
+			TS: span.StartSeq, Dur: dur, PID: 1, TID: 1, Args: args,
+		})
+		for _, ev := range span.Events {
+			events = append(events, chromeEvent{
+				Name: ev.Name, Cat: "event", Phase: "i",
+				TS: ev.Seq, PID: 1, TID: 1, Scope: "t", Args: ev.Fields,
+			})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		// A span opens before its interior instants at the same tick.
+		return events[i].Phase == "X" && events[j].Phase != "X"
+	})
+	doc := struct {
+		TraceEvents     []chromeEvent     `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"source": "repro tracestat",
+			"note":   "ts/dur are logical trace sequence ticks, not wall time",
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("obs: encoding chrome trace: %w", err)
+	}
+	return nil
+}
+
+// mergePayloads overlays the end payload on the start payload (end wins on
+// key collisions — it carries the final counters).
+func mergePayloads(start, end map[string]any) map[string]any {
+	if len(start) == 0 && len(end) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(start)+len(end))
+	for k, v := range start {
+		out[k] = v
+	}
+	for k, v := range end {
+		out[k] = v
+	}
+	return out
+}
+
+func fieldFloat(m map[string]any, key string) float64 {
+	if v, ok := m[key].(float64); ok && !math.IsNaN(v) {
+		return v
+	}
+	return 0
+}
+
+func fieldInt(m map[string]any, key string) int64 {
+	if v, ok := m[key].(float64); ok { // encoding/json decodes numbers as float64
+		return int64(v)
+	}
+	return 0
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// buildTrace records a small but representative run trace: a run root, two
+// phases with cost payloads, and span-interior point events.
+func buildTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tel := telemetry.New("analyze-test", telemetry.NewTracer(&buf))
+
+	ph := tel.StartPhase("learn")
+	ph.Span().Event("trip",
+		telemetry.I("i", 0),
+		telemetry.F("trip", 1.5),
+		telemetry.I("measurements", 7),
+	)
+	ph.Span().Event("trip",
+		telemetry.I("i", 1),
+		telemetry.F("trip", 1.25),
+		telemetry.I("measurements", 5),
+	)
+	ph.End(telemetry.Cost{Measurements: 12, Vectors: 480, SimTimeSec: 2.5})
+
+	ph = tel.StartPhase("optimize")
+	ph.Span().Event("generation", telemetry.I("gen", 1), telemetry.F("best_wcr", 1.1))
+	ph.End(telemetry.Cost{Measurements: 30, Vectors: 900, SimTimeSec: 7.25})
+
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseTraceAndRollups(t *testing.T) {
+	raw := buildTrace(t)
+	tr, err := ParseTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(tr.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tr.Roots))
+	}
+	root := tr.Roots[0]
+	if got := root.Label(); got != "run:analyze-test" {
+		t.Errorf("root label = %q", got)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("run children = %d, want 2", len(root.Children))
+	}
+	if len(tr.Spans) != 3 {
+		t.Errorf("spans = %d, want 3", len(tr.Spans))
+	}
+
+	rollups := tr.Rollups()
+	byLabel := make(map[string]Rollup, len(rollups))
+	for _, r := range rollups {
+		byLabel[r.Label] = r
+	}
+	learn, ok := byLabel["phase:learn"]
+	if !ok {
+		t.Fatalf("no phase:learn rollup in %+v", rollups)
+	}
+	if learn.Count != 1 || learn.Measurements != 12 || learn.Vectors != 480 ||
+		learn.SimTimeSec != 2.5 || learn.Events != 2 {
+		t.Errorf("phase:learn rollup = %+v", learn)
+	}
+	opt := byLabel["phase:optimize"]
+	if opt.Measurements != 30 || opt.SimTimeSec != 7.25 || opt.Events != 1 {
+		t.Errorf("phase:optimize rollup = %+v", opt)
+	}
+	// Sorted by simulated time descending: optimize before learn.
+	if rollups[0].Label != "phase:optimize" {
+		t.Errorf("rollup order = %v", rollups)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	tr, err := ParseTrace(bytes.NewReader(buildTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tr.CriticalPath()
+	if len(path) != 2 {
+		t.Fatalf("critical path depth = %d, want 2", len(path))
+	}
+	if path[0].Name != "run" || path[1].Label() != "phase:optimize" {
+		t.Errorf("critical path = [%s %s]", path[0].Label(), path[1].Label())
+	}
+
+	out := tr.Summary(10)
+	for _, want := range []string{
+		"phase:optimize", "phase:learn", "critical path", "run:analyze-test",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryTopTruncation(t *testing.T) {
+	tr, err := ParseTrace(bytes.NewReader(buildTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Summary(1)
+	if !strings.Contains(out, "more span labels") {
+		t.Errorf("summary with -top 1 should note truncation:\n%s", out)
+	}
+}
+
+func TestParseTraceUnclosedSpan(t *testing.T) {
+	// A crashed run leaves spans open; they adopt the final sequence number.
+	raw := strings.Join([]string{
+		`{"seq":1,"ev":"start","span":1,"name":"run","run":"x"}`,
+		`{"seq":2,"ev":"start","span":2,"parent":1,"name":"phase","phase":"learn"}`,
+		`{"seq":3,"ev":"event","span":2,"name":"trip","i":0}`,
+	}, "\n")
+	tr, err := ParseTrace(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range tr.Spans {
+		if span.EndSeq != 3 {
+			t.Errorf("span %d EndSeq = %d, want 3", span.ID, span.EndSeq)
+		}
+	}
+}
+
+func TestParseTraceRejectsCorruption(t *testing.T) {
+	cases := map[string]string{
+		"not json":          "hello world",
+		"regressing seq":    `{"seq":5,"ev":"start","span":5,"name":"a"}` + "\n" + `{"seq":4,"ev":"start","span":4,"name":"b"}`,
+		"unknown kind":      `{"seq":1,"ev":"warp","span":1,"name":"a"}`,
+		"missing envelope":  `{"name":"a"}`,
+		"end of ghost span": `{"seq":1,"ev":"end","span":99,"name":"a"}`,
+	}
+	for name, raw := range cases {
+		if _, err := ParseTrace(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: ParseTrace accepted corrupt input", name)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr, err := ParseTrace(bytes.NewReader(buildTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := WriteChromeTrace(&out, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   int64          `json:"dur"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export not JSON: %v", err)
+	}
+	// 3 spans + 3 instants.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("chrome events = %d, want 6", len(doc.TraceEvents))
+	}
+	var spans, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			spans++
+			if ev.Dur < 1 {
+				t.Errorf("span %q has dur %d", ev.Name, ev.Dur)
+			}
+		case "i":
+			instants++
+		default:
+			t.Errorf("unexpected event phase %q", ev.Phase)
+		}
+		if ev.PID != 1 {
+			t.Errorf("event %q pid = %d", ev.Name, ev.PID)
+		}
+	}
+	if spans != 3 || instants != 3 {
+		t.Errorf("spans/instants = %d/%d, want 3/3", spans, instants)
+	}
+	// Ordered by tick, span-open first: the run span leads.
+	if doc.TraceEvents[0].Name != "run:analyze-test" || doc.TraceEvents[0].TS != 1 {
+		t.Errorf("first chrome event = %+v", doc.TraceEvents[0])
+	}
+	// Span args carry the merged cost payload.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "phase:learn" {
+			if got := ev.Args["measurements"]; got != float64(12) {
+				t.Errorf("phase:learn args measurements = %v", got)
+			}
+		}
+	}
+
+	// Equal traces export byte-identically.
+	var again bytes.Buffer
+	if err := WriteChromeTrace(&again, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Error("chrome export is not deterministic")
+	}
+}

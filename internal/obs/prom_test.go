@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Prometheus exposition golden file")
+
+// promFixture builds a registry exercising every sample kind plus the
+// sanitization and escaping edge cases.
+func promFixture() telemetry.Snapshot {
+	r := telemetry.NewRegistry()
+	r.Counter("search_total").Add(42)
+	r.Counter("phase_table1-march_measurements").Add(7) // '-' needs sanitizing
+	r.Counter("nd_pool_runs_total").Add(3)
+	r.Gauge("ga_best_wcr").Set(1.25)
+	r.Gauge("weird_gauge").Set(math.Inf(1))
+	h := r.Histogram("search_measurements_per_search", 1, 2, 4)
+	for _, v := range []float64{1, 2, 3, 9} {
+		h.Observe(v)
+	}
+	r.Histogram("empty_hist", 1, 2) // zero observations must render defined
+	return r.Snapshot()
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	labels := map[string]string{
+		"run":   "table1",
+		"weird": "quote\" slash\\ newline\n done", // exercises escaping
+	}
+	if err := WritePrometheus(&buf, promFixture(), labels); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden %s:\n--- got ---\n%s--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	snap := promFixture()
+	labels := map[string]string{"b": "2", "a": "1", "c": "3"}
+	var first bytes.Buffer
+	if err := WritePrometheus(&first, snap, labels); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var again bytes.Buffer
+		if err := WritePrometheus(&again, snap, labels); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("render %d differs from first render", i)
+		}
+	}
+	out := first.String()
+	if !strings.Contains(out, `{a="1",b="2",c="3"}`) {
+		t.Errorf("labels not sorted by key:\n%s", out)
+	}
+}
+
+func TestWritePrometheusFormatDetails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promFixture(), map[string]string{"run": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE repro_search_total counter\n",
+		`repro_search_total{run="x"} 42`,
+		"repro_phase_table1_march_measurements", // sanitized '-'
+		"# TYPE repro_ga_best_wcr gauge\n",
+		`repro_weird_gauge{run="x"} +Inf`,
+		"# TYPE repro_search_measurements_per_search histogram\n",
+		`repro_search_measurements_per_search_bucket{run="x",le="1"} 1`,
+		`repro_search_measurements_per_search_bucket{run="x",le="+Inf"} 4`,
+		`repro_search_measurements_per_search_sum{run="x"} 15`,
+		`repro_search_measurements_per_search_count{run="x"} 4`,
+		`repro_empty_hist_count{run="x"} 0`,
+		`repro_empty_hist_sum{run="x"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "le=\"+Inf\"} 4\nrepro_search_measurements_per_search_bucket") {
+		t.Error("unexpected bucket after +Inf")
+	}
+	// Empty snapshot and nil labels are fine.
+	var empty bytes.Buffer
+	if err := WritePrometheus(&empty, telemetry.Snapshot{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q, want nothing", empty.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"search_total":     "search_total",
+		"table1-march":     "table1_march",
+		"9lives":           "_9lives",
+		"a.b c":            "a_b_c",
+		"ok:colon_Allowed": "ok:colon_Allowed",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Options configures an admin server.
+type Options struct {
+	// Run names the run in /healthz and the "run" metric label.
+	Run string
+	// Metrics supplies the registry snapshot behind /metrics (typically
+	// tel.Registry().Snapshot). Nil serves an empty exposition.
+	Metrics func() telemetry.Snapshot
+	// Progress feeds /progress and /readyz. Nil disables both with 404 /
+	// not-ready responses.
+	Progress *Progress
+}
+
+// Server is the embeddable observability endpoint of one run: /metrics in
+// Prometheus text format, /healthz + run-phase-aware /readyz, net/http/pprof
+// under /debug/pprof/, and /progress as a JSON snapshot or an SSE stream.
+// All handlers are read-only against atomically published state, so serving
+// never perturbs the run (trace bytes stay bit-identical with the server on
+// or off).
+type Server struct {
+	opts    Options
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
+}
+
+// Start listens on addr (host:port; port 0 picks a free port — read the
+// resolved address back with Addr) and serves the admin endpoints until
+// Close.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	s := &Server{opts: opts, ln: ln, started: time.Now()}
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the resolved listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down, waiting briefly for in-flight scrapes and
+// unblocking any SSE subscribers. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Handler returns the admin mux (exported so tests and embedders can mount
+// it without a listener).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/progress", s.handleProgress)
+	// net/http/pprof registers on DefaultServeMux as an import side effect;
+	// mounting the handlers explicitly keeps this mux self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<html><head><title>repro obs: %s</title></head><body>
+<h1>repro observability — run %q</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/healthz">/healthz</a> — liveness</li>
+<li><a href="/readyz">/readyz</a> — run-phase-aware readiness</li>
+<li><a href="/progress">/progress</a> — live run snapshot (add <code>Accept: text/event-stream</code> or <code>?sse=1</code> to stream)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
+</ul></body></html>
+`, s.opts.Run, s.opts.Run)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var snap telemetry.Snapshot
+	if s.opts.Metrics != nil {
+		snap = s.opts.Metrics()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	labels := map[string]string{}
+	if s.opts.Run != "" {
+		labels["run"] = s.opts.Run
+	}
+	if err := WritePrometheus(w, snap, labels); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"run":            s.opts.Run,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	p := s.opts.Progress
+	state := StateStarting
+	if p != nil {
+		state = p.Current().State
+	}
+	code := http.StatusServiceUnavailable
+	if p.Ready() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, map[string]any{"ready": p.Ready(), "state": state, "run": s.opts.Run})
+}
+
+// progressPayload is the /progress response body: the deterministic run
+// snapshot plus a clearly partitioned non-deterministic section.
+type progressPayload struct {
+	*Snapshot
+	NonDeterministic progressND `json:"non_deterministic"`
+}
+
+type progressND struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	PoolRuns      int64   `json:"pool_runs"`
+	PoolTasks     int64   `json:"pool_tasks"`
+	PoolMaxW      int64   `json:"pool_max_workers"`
+}
+
+func (s *Server) payload() progressPayload {
+	runs, tasks, maxw := s.opts.Progress.PoolStats()
+	return progressPayload{
+		Snapshot: s.opts.Progress.Current(),
+		NonDeterministic: progressND{
+			UptimeSeconds: time.Since(s.started).Seconds(),
+			PoolRuns:      runs,
+			PoolTasks:     tasks,
+			PoolMaxW:      maxw,
+		},
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	p := s.opts.Progress
+	if p == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "no progress publisher attached"})
+		return
+	}
+	if wantsSSE(r) {
+		s.serveProgressSSE(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.payload())
+}
+
+// wantsSSE selects the streaming variant: an explicit ?sse=1 or an Accept
+// header asking for text/event-stream.
+func wantsSSE(r *http.Request) bool {
+	if r.URL.Query().Get("sse") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// serveProgressSSE streams every published snapshot as one SSE "progress"
+// event. Subscribers take the watch channel before reading the snapshot, so
+// no publish is missed; bursts coalesce to the latest state.
+func (s *Server) serveProgressSSE(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	p := s.opts.Progress
+	var lastSeq uint64
+	first := true
+	for {
+		watch := p.Watch()
+		payload := s.payload()
+		if first || payload.Snapshot.Seq != lastSeq {
+			data, err := json.Marshal(payload)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+			lastSeq = payload.Snapshot.Seq
+			first = false
+		}
+		if payload.Snapshot.State == StateDone {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-watch:
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to report
+}

@@ -137,3 +137,65 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 		t.Errorf("concurrent histogram count = %d, want 800", r.Histogram("h").Count())
 	}
 }
+
+func TestEmptyHistogramSnapshotDefined(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty", 1, 2, 4) // created, never observed
+	hs := r.Snapshot().Histograms["empty"]
+	if hs.Count != 0 || hs.Sum != 0 {
+		t.Fatalf("empty histogram snapshot count/sum = %d/%v, want 0/0", hs.Count, hs.Sum)
+	}
+	if got := len(hs.Buckets); got != 4 { // 3 finite + the +Inf overflow
+		t.Fatalf("empty histogram snapshot has %d buckets, want 4", got)
+	}
+	if m := hs.Mean(); m != 0 || math.IsNaN(m) {
+		t.Errorf("empty histogram Mean() = %v, want 0", m)
+	}
+	for _, q := range []float64{-1, 0, 0.5, 0.9, 1, 2} {
+		if v := hs.Quantile(q); v != 0 || math.IsNaN(v) {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+	var zero HistogramSnapshot
+	if zero.Mean() != 0 || zero.Quantile(0.5) != 0 {
+		t.Error("zero-value HistogramSnapshot must report 0 mean and quantiles")
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", 10, 20, 40)
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all land in the ≤10 bucket
+	}
+	hs := r.Snapshot().Histograms["q"]
+	// Rank 5 of 10 sits halfway through the [0, 10] bucket.
+	if got := hs.Quantile(0.5); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %v, want 5", got)
+	}
+	if got := hs.Quantile(1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Quantile(1) = %v, want 10", got)
+	}
+
+	h.Observe(1e9) // overflow bucket: quantiles clamp to highest finite bound
+	hs = r.Snapshot().Histograms["q"]
+	if got := hs.Quantile(1); got != 40 {
+		t.Errorf("Quantile(1) with overflow observation = %v, want clamp to 40", got)
+	}
+	if v := hs.Mean(); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("Mean() = %v, want finite", v)
+	}
+}
+
+func TestHitRateZeroLookups(t *testing.T) {
+	if got := HitRate(0, 0); got != 0 || math.IsNaN(got) {
+		t.Errorf("HitRate(0,0) = %v, want 0", got)
+	}
+	if got := HitRate(3, 1); got != 0.75 {
+		t.Errorf("HitRate(3,1) = %v, want 0.75", got)
+	}
+	rep := &Report{}
+	if got := rep.CacheHitRate(); got != 0 || math.IsNaN(got) {
+		t.Errorf("zero-lookup report CacheHitRate() = %v, want 0", got)
+	}
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// recordingObserver logs every callback in order.
+type recordingObserver struct {
+	log []string
+}
+
+func (r *recordingObserver) PhaseStarted(name string) { r.log = append(r.log, "start:"+name) }
+func (r *recordingObserver) PhaseEnded(name string, cost Cost) {
+	r.log = append(r.log, "end:"+name)
+}
+func (r *recordingObserver) SearchRecorded(m, budget int, conv bool) {
+	r.log = append(r.log, "search")
+}
+func (r *recordingObserver) CacheLookups(hits, misses int64, budget int) {
+	r.log = append(r.log, "cache")
+}
+func (r *recordingObserver) Generation(gen int, best float64) { r.log = append(r.log, "gen") }
+func (r *recordingObserver) Item(kind string, done, total int) {
+	r.log = append(r.log, "item:"+kind)
+}
+
+func TestRunObserverReceivesCallbacks(t *testing.T) {
+	tel := New("obs", nil)
+	obs := &recordingObserver{}
+	tel.SetRunObserver(obs)
+
+	ph := tel.StartPhase("learn")
+	tel.RecordSearch(4, 64, true)
+	tel.RecordCacheLookups(2, 1, 64)
+	tel.RecordItem("learn-test", 1, 10)
+	ph.End(Cost{Measurements: 4})
+	tel.RecordGeneration(3, 1.25)
+
+	want := []string{"start:learn", "search", "cache", "item:learn-test", "end:learn", "gen"}
+	if !reflect.DeepEqual(obs.log, want) {
+		t.Errorf("observer log = %v, want %v", obs.log, want)
+	}
+	if v := tel.Registry().Gauge("ga_best_wcr").Value(); v != 1.25 {
+		t.Errorf("RecordGeneration gauge = %v, want 1.25", v)
+	}
+	if n := tel.Registry().Counter("ga_generations_total").Value(); n != 1 {
+		t.Errorf("ga_generations_total = %d, want 1", n)
+	}
+	if h, m := tel.CacheStats(); h != 2 || m != 1 {
+		t.Errorf("CacheStats = %d/%d, want 2/1", h, m)
+	}
+
+	// Detaching stops delivery; nil telemetry stays inert.
+	tel.SetRunObserver(nil)
+	tel.RecordItem("x", 1, 1)
+	if len(obs.log) != len(want) {
+		t.Error("observer received events after detach")
+	}
+	var nilTel *Telemetry
+	nilTel.SetRunObserver(obs)
+	nilTel.RecordGeneration(1, 1)
+	nilTel.RecordItem("x", 1, 1)
+	if h, m := nilTel.CacheStats(); h != 0 || m != 0 {
+		t.Error("nil telemetry CacheStats not zero")
+	}
+}
+
+// Attaching an observer must not change trace bytes: the observer path
+// never writes to the tracer.
+func TestObserverDoesNotPerturbTrace(t *testing.T) {
+	run := func(attach bool) []byte {
+		var buf bytes.Buffer
+		tel := New("run", NewTracer(&buf))
+		if attach {
+			tel.SetRunObserver(&recordingObserver{})
+		}
+		ph := tel.StartPhase("p")
+		tel.RecordSearch(3, 32, true)
+		tel.RecordItem("unit", 1, 2)
+		ph.End(Cost{Measurements: 3})
+		tel.RecordGeneration(1, 2.0)
+		if err := tel.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain, observed := run(false), run(true)
+	if !bytes.Equal(plain, observed) {
+		t.Errorf("trace differs with observer attached:\nplain:    %s\nobserved: %s", plain, observed)
+	}
+}

@@ -85,11 +85,7 @@ type Report struct {
 
 // CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
 func (r *Report) CacheHitRate() float64 {
-	total := r.CacheHits + r.CacheMisses
-	if total == 0 {
-		return 0
-	}
-	return float64(r.CacheHits) / float64(total)
+	return HitRate(r.CacheHits, r.CacheMisses)
 }
 
 // MeasurementsSaved returns the estimated measurements the SUTP reference

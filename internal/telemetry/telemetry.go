@@ -18,6 +18,10 @@ type Telemetry struct {
 	tracer *Tracer
 	reg    *Registry
 
+	// observer is the optional live run observer (see observer.go); loaded
+	// atomically on every emission path.
+	observer observerPtr
+
 	mu        sync.Mutex
 	run       *Span
 	runName   string
@@ -80,6 +84,9 @@ func (t *Telemetry) StartPhase(name string) *PhaseHandle {
 	if t == nil {
 		return nil
 	}
+	if o := t.runObserver(); o != nil {
+		o.PhaseStarted(name)
+	}
 	return &PhaseHandle{t: t, span: t.run.Child("phase", S("phase", name)), name: name, start: time.Now()}
 }
 
@@ -116,6 +123,9 @@ func (p *PhaseHandle) End(cost Cost) {
 		WallSeconds: time.Since(p.start).Seconds(),
 	})
 	p.t.mu.Unlock()
+	if o := p.t.runObserver(); o != nil {
+		o.PhaseEnded(p.name, cost)
+	}
 }
 
 // RecordSearch accounts one performed trip-point search: its actual
@@ -134,6 +144,9 @@ func (t *Telemetry) RecordSearch(measurements, fullRangeBudget int, converged bo
 		reg.Counter("search_nonconverged_total").Inc()
 	}
 	reg.Histogram("search_measurements_per_search").Observe(float64(measurements))
+	if o := t.runObserver(); o != nil {
+		o.SearchRecorded(measurements, fullRangeBudget, converged)
+	}
 }
 
 // RecordCacheLookups accounts memo-cache effectiveness deltas. A hit avoids
@@ -149,6 +162,9 @@ func (t *Telemetry) RecordCacheLookups(hits, misses int64, fullRangeBudget int) 
 	t.cacheHits += hits
 	t.cacheMiss += misses
 	t.mu.Unlock()
+	if o := t.runObserver(); o != nil {
+		o.CacheLookups(hits, misses, fullRangeBudget)
+	}
 }
 
 // ObservePool aggregates one worker-pool run's per-worker task counts —
