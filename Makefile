@@ -1,13 +1,38 @@
-.PHONY: check test bench bench-parallel bench-obs bench-kernels tracestat
+.PHONY: ci check test invariants fuzz-smoke bench bench-parallel bench-obs bench-kernels tracestat
 
-# The full CI gate: vet + build + race-enabled tests + the telemetry smoke
-# run + the short benchmark passes that write BENCH_parallel.json,
-# BENCH_obs.json and BENCH_kernels.json (with the allocs/op ceiling gate).
-check:
+# The full CI gate: vet + build + race-enabled tests + coverage floors +
+# fuzz smoke + the telemetry smoke run + the short benchmark passes that
+# write BENCH_parallel.json, BENCH_obs.json and BENCH_kernels.json (with
+# the allocs/op ceiling gate).
+ci:
 	./ci.sh
+
+# The pre-commit gate: static checks, the race-enabled suite, and the
+# property-based invariant suites. Faster than `make ci` (no smoke runs or
+# benchmarks); run `make ci` before merging.
+check:
+	go vet ./...
+	go test -race ./...
+	$(MAKE) invariants
 
 test:
 	go build ./... && go test ./...
+
+# The seeded property-based invariant suites: the SUTP-vs-full-range
+# differential oracle, bit-equivalence across worker counts and cache
+# modes, fuzzy partition-of-unity, weight-file and trace round-trip
+# closure, and the encoder/parser grammar pins. Every failure prints a
+# -proptest.seed=N one-liner that replays the exact case.
+invariants:
+	go test -count=1 ./internal/search ./internal/fuzzy ./internal/neural \
+		./internal/telemetry ./internal/obs ./internal/core ./internal/proptest
+
+# Ten seconds of native fuzzing per target against the committed corpora.
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzSUTPBounds$$' -fuzztime 10s ./internal/search/
+	go test -run '^$$' -fuzz '^FuzzWeightFileParse$$' -fuzztime 10s ./internal/neural/
+	go test -run '^$$' -fuzz '^FuzzTraceParse$$' -fuzztime 10s ./internal/obs/
+	go test -run '^$$' -fuzz '^FuzzPromEncode$$' -fuzztime 10s ./internal/obs/
 
 # Every paper table/figure benchmark, one iteration each.
 bench:

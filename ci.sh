@@ -1,6 +1,8 @@
 #!/bin/sh
-# CI gate for the repo: static checks, the race-enabled test suite, a
-# telemetry-enabled smoke run (with a trace-determinism diff), and short
+# CI gate for the repo: static checks, the race-enabled test suite,
+# per-package coverage floors, a fuzz smoke pass over the native fuzz
+# targets, a telemetry-enabled smoke run (with a trace-determinism diff),
+# and short
 # benchmark passes that record the perf trajectory in BENCH_parallel.json
 # (fig. 5 + Table 1 ns/op and measurement counts), BENCH_obs.json
 # (instrumented-flow ns/op, cache hit rate, measurements per op) and
@@ -17,6 +19,77 @@ echo "== go build =="
 go build ./...
 echo "== go test -race =="
 go test -race ./...
+
+echo "== coverage floors =="
+# Per-package statement-coverage floors, pinned ~10 points under the levels
+# measured when the invariant harness landed, so a PR that deletes or skips
+# tests fails loudly while normal refactoring has headroom. Raise a floor
+# when a package's coverage durably improves; never lower one to make CI
+# pass.
+COVER_TXT=$(mktemp)
+go test -count=1 -cover ./internal/... > "$COVER_TXT" || {
+	cat "$COVER_TXT" >&2
+	rm -f "$COVER_TXT"
+	exit 1
+}
+cat "$COVER_TXT"
+awk '
+	BEGIN {
+		floor["repro/internal/ate"] = 80
+		floor["repro/internal/charspec"] = 80
+		floor["repro/internal/cli"] = 70
+		floor["repro/internal/core"] = 80
+		floor["repro/internal/dut"] = 85
+		floor["repro/internal/fuzzy"] = 80
+		floor["repro/internal/genetic"] = 85
+		floor["repro/internal/neural"] = 80
+		floor["repro/internal/obs"] = 80
+		floor["repro/internal/parallel"] = 85
+		floor["repro/internal/pdn"] = 85
+		floor["repro/internal/proptest"] = 60
+		floor["repro/internal/search"] = 80
+		floor["repro/internal/shmoo"] = 80
+		floor["repro/internal/telemetry"] = 80
+		floor["repro/internal/testgen"] = 85
+		floor["repro/internal/trippoint"] = 80
+		floor["repro/internal/wcr"] = 90
+		fail = 0
+	}
+	$1 == "ok" && $2 in floor {
+		seen[$2] = 1
+		for (i = 3; i <= NF; i++) {
+			if ($i ~ /^[0-9.]+%$/) {
+				pct = $i; sub(/%/, "", pct)
+				if (pct + 0 < floor[$2]) {
+					printf "FAIL: %s coverage %.1f%% below floor %d%%\n", $2, pct, floor[$2] > "/dev/stderr"
+					fail = 1
+				}
+			}
+		}
+	}
+	END {
+		for (pkg in floor) {
+			if (!(pkg in seen)) {
+				printf "FAIL: no coverage result for %s (package removed or tests failed)\n", pkg > "/dev/stderr"
+				fail = 1
+			}
+		}
+		exit fail
+	}
+' "$COVER_TXT" || { rm -f "$COVER_TXT"; exit 1; }
+rm -f "$COVER_TXT"
+echo "all per-package coverage floors hold"
+
+echo "== fuzz smoke (10s per target) =="
+# Each native fuzz target runs briefly against its committed seed corpus
+# plus fresh mutations. A crasher here means a parser or search-bounds
+# invariant broke; reproduce with the corpus file Go writes to
+# testdata/fuzz/<Target>/.
+go test -run '^$' -fuzz '^FuzzSUTPBounds$' -fuzztime 10s ./internal/search/
+go test -run '^$' -fuzz '^FuzzWeightFileParse$' -fuzztime 10s ./internal/neural/
+go test -run '^$' -fuzz '^FuzzTraceParse$' -fuzztime 10s ./internal/obs/
+go test -run '^$' -fuzz '^FuzzPromEncode$' -fuzztime 10s ./internal/obs/
+echo "all fuzz targets clean"
 
 echo "== telemetry smoke run =="
 SMOKE_DIR=$(mktemp -d)

@@ -1,0 +1,88 @@
+// Package examples_test smoke-tests every runnable example: each must
+// build, exit 0 in well under two seconds, and print the same non-empty
+// output on every run. The examples are the repo's executable
+// documentation — this is the test that keeps them from rotting.
+package examples_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// tempPathRe masks the one legitimately run-dependent output fragment:
+// worstcase saves its weight file under os.MkdirTemp.
+var tempPathRe = regexp.MustCompile(`/[^ ]*worstcase[0-9]+[^ ]*`)
+
+func runExample(t *testing.T, bin string) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin)
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=4")
+	start := time.Now()
+	out, err := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("example did not finish within 30s")
+	}
+	if err != nil {
+		t.Fatalf("example failed: %v\n%s", err, out)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("example took %v; these are meant to be quick demos", elapsed)
+	}
+	return out
+}
+
+func TestExamplesBuildRunAndAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke builds six binaries; skipped with -short")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) != 6 {
+		t.Fatalf("expected 6 examples, found %d: %v (update this count when adding one)", len(names), names)
+	}
+
+	goBin := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goBin); err != nil {
+		goBin = "go"
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command(goBin, "build", "-o", bin, "./"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./%s: %v\n%s", name, err, out)
+			}
+
+			first := runExample(t, bin)
+			if len(bytes.TrimSpace(first)) == 0 {
+				t.Fatal("example printed nothing")
+			}
+			second := runExample(t, bin)
+
+			a := tempPathRe.ReplaceAll(first, []byte("TMPDIR"))
+			b := tempPathRe.ReplaceAll(second, []byte("TMPDIR"))
+			if !bytes.Equal(a, b) {
+				t.Errorf("output differs between runs:\n--- first\n%s\n--- second\n%s", a, b)
+			}
+		})
+	}
+}

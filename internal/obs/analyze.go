@@ -76,25 +76,40 @@ type Trace struct {
 
 // ParseTrace decodes a JSONL trace stream and reconstructs the span tree.
 // Unknown or out-of-order lines fail loudly: the tracer writes strictly
-// increasing sequence numbers, so corruption is detectable.
+// increasing sequence numbers, so corruption is detectable. Errors name both
+// the 1-based line and the byte offset of that line's first byte, so a
+// corrupt multi-gigabyte trace can be inspected with dd/tail instead of a
+// line-counting pass.
 func ParseTrace(r io.Reader) (*Trace, error) {
 	tr := &Trace{Spans: make(map[int64]*TraceSpan)}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	br := bufio.NewReaderSize(r, 64*1024)
 	line := 0
+	offset := int64(0) // byte offset of the current line's first byte
 	lastSeq := int64(0)
-	for sc.Scan() {
+	for {
+		text, readErr := br.ReadString('\n')
+		if text == "" && readErr != nil {
+			if readErr == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("obs: reading trace: %w", readErr)
+		}
 		line++
-		raw := strings.TrimSpace(sc.Text())
+		lineStart := offset
+		offset += int64(len(text))
+		raw := strings.TrimSpace(text)
 		if raw == "" {
+			if readErr == io.EOF {
+				break
+			}
 			continue
 		}
 		ev, err := decodeTraceLine(raw)
 		if err != nil {
-			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			return nil, fmt.Errorf("obs: trace line %d (byte offset %d): %w", line, lineStart, err)
 		}
 		if ev.Seq <= lastSeq {
-			return nil, fmt.Errorf("obs: trace line %d: sequence %d not increasing (prev %d)", line, ev.Seq, lastSeq)
+			return nil, fmt.Errorf("obs: trace line %d (byte offset %d): sequence %d not increasing (prev %d)", line, lineStart, ev.Seq, lastSeq)
 		}
 		lastSeq = ev.Seq
 		tr.Events++
@@ -117,7 +132,7 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 		case "end":
 			span, ok := tr.Spans[ev.Span]
 			if !ok {
-				return nil, fmt.Errorf("obs: trace line %d: end of unknown span %d", line, ev.Span)
+				return nil, fmt.Errorf("obs: trace line %d (byte offset %d): end of unknown span %d", line, lineStart, ev.Span)
 			}
 			span.EndSeq = ev.Seq
 			span.End = ev.Fields
@@ -126,11 +141,11 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 				span.Events = append(span.Events, ev)
 			}
 		default:
-			return nil, fmt.Errorf("obs: trace line %d: unknown event kind %q", line, ev.Kind)
+			return nil, fmt.Errorf("obs: trace line %d (byte offset %d): unknown event kind %q", line, lineStart, ev.Kind)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: reading trace: %w", err)
+		if readErr == io.EOF {
+			break
+		}
 	}
 	// Close any span the run abandoned at the stream's end.
 	for _, span := range tr.Spans {

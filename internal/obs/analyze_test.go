@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -146,6 +147,45 @@ func TestParseTraceRejectsCorruption(t *testing.T) {
 	for name, raw := range cases {
 		if _, err := ParseTrace(strings.NewReader(raw)); err == nil {
 			t.Errorf("%s: ParseTrace accepted corrupt input", name)
+		}
+	}
+}
+
+func TestParseTraceErrorNamesLineAndByteOffset(t *testing.T) {
+	// tracestat surfaces these messages verbatim; pin the format so a corrupt
+	// multi-gigabyte trace can be excised with dd without a line-counting
+	// pass.
+	good := `{"seq":1,"ev":"start","span":1,"name":"run"}`
+	cases := map[string]struct {
+		raw  string
+		want string
+	}{
+		"bad json on line 2": {
+			raw:  good + "\n" + `not json`,
+			want: fmt.Sprintf("obs: trace line 2 (byte offset %d): ", len(good)+1),
+		},
+		"seq regression on line 3": {
+			raw: good + "\n\n" + `{"seq":1,"ev":"start","span":2,"name":"b"}`,
+			want: fmt.Sprintf("obs: trace line 3 (byte offset %d): sequence 1 not increasing (prev 1)",
+				len(good)+2),
+		},
+		"ghost end on line 1": {
+			raw:  `{"seq":1,"ev":"end","span":9,"name":"g"}`,
+			want: "obs: trace line 1 (byte offset 0): end of unknown span 9",
+		},
+		"unknown kind": {
+			raw:  good + "\n" + `{"seq":2,"ev":"warp","span":1,"name":"a"}`,
+			want: fmt.Sprintf(`obs: trace line 2 (byte offset %d): unknown event kind "warp"`, len(good)+1),
+		},
+	}
+	for name, tc := range cases {
+		_, err := ParseTrace(strings.NewReader(tc.raw))
+		if err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", name, err, tc.want)
 		}
 	}
 }

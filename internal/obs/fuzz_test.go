@@ -1,0 +1,122 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// FuzzTraceParse hammers the JSONL trace parser with arbitrary bytes. The
+// contract: ParseTrace never panics; when it accepts a stream, every
+// reconstructed span is internally consistent and all downstream analyses
+// (rollups, critical path, summary, Chrome export) are total.
+func FuzzTraceParse(f *testing.F) {
+	// A genuine trace as the structured seed.
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+	run := tr.StartSpan("run", telemetry.S("mode", "fuzz"))
+	ph := run.Child("phase", telemetry.S("phase", "learn"))
+	ph.Event("tick", telemetry.F("sim_time_sec", 0.5))
+	ph.End(telemetry.I("measurements", 42), telemetry.F("sim_time_sec", 1.25))
+	run.End()
+	tr.Close()
+	f.Add(buf.Bytes())
+
+	f.Add([]byte(`{"seq":1,"ev":"start","span":1,"name":"run"}`))
+	f.Add([]byte(`{"seq":1,"ev":"start","span":1,"name":"a"}` + "\n" + `{"seq":1,"ev":"end","span":1,"name":"a"}`))
+	f.Add([]byte(`{"seq":2,"ev":"end","span":7,"name":"ghost"}`))
+	f.Add([]byte(`{"seq":1,"ev":"wat","name":"x"}`))
+	f.Add([]byte(`{"seq":"one","ev":"start"}`))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{0x00, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := obs.ParseTrace(bytes.NewReader(data))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "obs: ") {
+				t.Fatalf("parse error without obs: prefix: %v", err)
+			}
+			return
+		}
+		if tr.Events < 0 || len(tr.Spans) > tr.Events {
+			t.Fatalf("inconsistent totals: %d events, %d spans", tr.Events, len(tr.Spans))
+		}
+		for id, span := range tr.Spans {
+			if span.ID != id {
+				t.Fatalf("span map key %d holds span %d", id, span.ID)
+			}
+			if span.StartSeq > span.EndSeq {
+				t.Fatalf("span %d has negative extent [%d, %d]", id, span.StartSeq, span.EndSeq)
+			}
+			if span.EndSeq > tr.MaxSeq {
+				t.Fatalf("span %d ends at %d beyond max seq %d", id, span.EndSeq, tr.MaxSeq)
+			}
+		}
+		_ = tr.Rollups()
+		_ = tr.CriticalPath()
+		_ = tr.Summary(5)
+		if err := obs.WriteChromeTrace(&bytes.Buffer{}, tr); err != nil {
+			t.Fatalf("chrome export failed on accepted trace: %v", err)
+		}
+	})
+}
+
+// FuzzPromEncode hammers the Prometheus exposition encoder with arbitrary
+// metric names, values and label pairs. The contract: never panic, always
+// render, byte-deterministic for equal input, and no emitted metric name
+// escapes the Prometheus charset.
+func FuzzPromEncode(f *testing.F) {
+	f.Add("cache_hits", int64(12), "sim_time", 1.5, "run", "table1")
+	f.Add("weird-name.µ", int64(-3), "9starts_with_digit", -0.0, "key", "va\"l\\ue\n")
+	f.Add("", int64(0), "", 0.0, "", "")
+	f.Add("dup", int64(1), "dup", 2.0, "dup", "dup")
+
+	f.Fuzz(func(t *testing.T, counterName string, counterVal int64, gaugeName string, gaugeVal float64, labelKey, labelVal string) {
+		s := telemetry.Snapshot{
+			Counters: map[string]int64{counterName: counterVal},
+			Gauges:   map[string]float64{gaugeName: gaugeVal},
+			Histograms: map[string]telemetry.HistogramSnapshot{
+				counterName + "_h": {
+					Buckets: []telemetry.HistogramBucket{{LE: gaugeVal, Count: counterVal}},
+					Count:   counterVal,
+					Sum:     gaugeVal,
+				},
+			},
+		}
+		labels := map[string]string{labelKey: labelVal}
+
+		var out1, out2 bytes.Buffer
+		if err := obs.WritePrometheus(&out1, s, labels); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		if err := obs.WritePrometheus(&out2, s, labels); err != nil {
+			t.Fatalf("second WritePrometheus: %v", err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatal("rendering differs for identical input")
+		}
+		for _, line := range strings.Split(out1.String(), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			if !strings.HasPrefix(name, obs.MetricPrefix) {
+				t.Fatalf("metric %q lacks the %q prefix", name, obs.MetricPrefix)
+			}
+			for _, r := range name {
+				ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+					r >= '0' && r <= '9' || r == '_' || r == ':'
+				if !ok {
+					t.Fatalf("metric name %q contains %q outside the Prometheus charset", name, r)
+				}
+			}
+		}
+	})
+}

@@ -17,15 +17,40 @@ import (
 // batch engines, before dispatch and after the batch completes in task
 // order), not concurrently from racing workers.
 type MemoCache struct {
-	mu   sync.RWMutex
-	m    map[uint64]float64
-	hits atomic.Int64
-	miss atomic.Int64
+	mu      sync.RWMutex
+	m       map[uint64]float64
+	limit   int // 0 = unbounded
+	hits    atomic.Int64
+	miss    atomic.Int64
+	dropped atomic.Int64
 }
 
-// NewMemoCache returns an empty cache.
+// NewMemoCache returns an empty, unbounded cache.
 func NewMemoCache() *MemoCache {
 	return &MemoCache{m: make(map[uint64]float64)}
+}
+
+// SetLimit caps the entry count at n (n <= 0 removes the cap). At
+// capacity, Put rejects *new* keys instead of evicting old ones:
+// random-replacement eviction would make which measurements get memoized —
+// and therefore the hit/miss cost accounting — depend on map iteration
+// order, while reject-at-capacity keeps the retained set a pure function
+// of insertion order. Overwrites of already-present keys always succeed.
+// Entries beyond an already-exceeded new cap stay until Reset.
+func (c *MemoCache) SetLimit(n int) {
+	c.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	c.limit = n
+	c.mu.Unlock()
+}
+
+// Limit returns the current entry cap (0 = unbounded).
+func (c *MemoCache) Limit() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.limit
 }
 
 // Get returns the memoized value for key, counting a hit or a miss.
@@ -41,9 +66,18 @@ func (c *MemoCache) Get(key uint64) (float64, bool) {
 	return v, ok
 }
 
-// Put memoizes value under key, overwriting any previous entry.
+// Put memoizes value under key, overwriting any previous entry. At the
+// SetLimit capacity a new key is rejected (counted by Dropped) so the
+// caller simply re-measures it next time.
 func (c *MemoCache) Put(key uint64, value float64) {
 	c.mu.Lock()
+	if c.limit > 0 && len(c.m) >= c.limit {
+		if _, exists := c.m[key]; !exists {
+			c.mu.Unlock()
+			c.dropped.Add(1)
+			return
+		}
+	}
 	c.m[key] = value
 	c.mu.Unlock()
 }
@@ -60,3 +94,19 @@ func (c *MemoCache) Hits() int64 { return c.hits.Load() }
 
 // Misses returns how many Get calls found nothing.
 func (c *MemoCache) Misses() int64 { return c.miss.Load() }
+
+// Dropped returns how many Put calls were rejected at the SetLimit
+// capacity.
+func (c *MemoCache) Dropped() int64 { return c.dropped.Load() }
+
+// Reset empties the cache and zeroes the hit/miss/dropped counters,
+// keeping the configured limit. Batch engines call it between independent
+// runs that must not share measured values.
+func (c *MemoCache) Reset() {
+	c.mu.Lock()
+	clear(c.m)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.miss.Store(0)
+	c.dropped.Store(0)
+}

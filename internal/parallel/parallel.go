@@ -14,6 +14,7 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,29 @@ func Bound(workers, tasks int) int {
 	return w
 }
 
+// TaskPanic is the value Run re-panics with when a task function panics:
+// the original panic value plus the index of the panicking task. The
+// lowest-index panic wins regardless of the worker count or scheduling, so
+// a crash reproduces identically under -parallel 1 and -parallel N.
+type TaskPanic struct {
+	Task  int
+	Value any
+}
+
+// Error makes a TaskPanic readable when it escapes to a crash report or is
+// recovered into an error path.
+func (p TaskPanic) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", p.Task, p.Value)
+}
+
+// Unwrap exposes a task panic whose value already was an error.
+func (p TaskPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run executes tasks 0..n-1 across at most Bound(workers, n) goroutines.
 // Each worker constructs its private resource once via newWorker (a forked
 // tester insertion, a scratch buffer, …) and then pulls task indices from a
@@ -74,19 +98,38 @@ func Bound(workers, tasks int) int {
 // error (or, before that, the lowest-worker construction error) is
 // returned, so the reported error does not depend on scheduling. With one
 // worker the tasks run inline on the calling goroutine in index order.
+//
+// A panicking task does not tear down the pool mid-flight (which would
+// kill the process from a worker goroutine and leave sibling workers
+// racing): the panic is caught, the remaining tasks still run, and Run
+// re-panics with a TaskPanic carrying the lowest panicking task index and
+// its original panic value.
 func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	obs := observer.Load()
 	nw := Bound(workers, n)
+	runTask := func(wk W, i int, panics []any) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = r
+			}
+		}()
+		return task(wk, i)
+	}
 	if nw == 1 {
 		wk, err := newWorker(0)
 		if err != nil {
 			return err
 		}
+		panics := make([]any, n)
 		for i := 0; i < n; i++ {
-			if err := task(wk, i); err != nil {
+			err := runTask(wk, i, panics)
+			if panics[i] != nil {
+				panic(TaskPanic{Task: i, Value: panics[i]})
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -97,6 +140,7 @@ func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W
 	}
 
 	taskErrs := make([]error, n)
+	panics := make([]any, n)
 	workerErrs := make([]error, nw)
 	taskCounts := make([]int, nw)
 	var next atomic.Int64
@@ -116,11 +160,16 @@ func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W
 					return
 				}
 				taskCounts[w]++
-				taskErrs[i] = task(wk, i)
+				taskErrs[i] = runTask(wk, i, panics)
 			}
 		}(w)
 	}
 	wg.Wait()
+	for i, r := range panics {
+		if r != nil {
+			panic(TaskPanic{Task: i, Value: r})
+		}
+	}
 	if obs != nil {
 		(*obs)(nw, taskCounts)
 	}

@@ -1,0 +1,227 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunFewerTasksThanWorkers(t *testing.T) {
+	// Bound must clamp the pool to the task count: 3 tasks never start more
+	// than 3 workers, and every task still runs exactly once.
+	var built atomic.Int32
+	var ran [3]atomic.Int32
+	err := Run(3, 16,
+		func(int) (int, error) { built.Add(1); return 0, nil },
+		func(_ int, i int) error { ran[i].Add(1); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Load() > 3 {
+		t.Errorf("%d workers built for 3 tasks", built.Load())
+	}
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Errorf("task %d ran %d times", i, ran[i].Load())
+		}
+	}
+	if got := Bound(16, 3); got != 3 {
+		t.Errorf("Bound(16, 3) = %d", got)
+	}
+}
+
+func TestRunNegativeTaskCount(t *testing.T) {
+	called := false
+	err := Run(-4, 2,
+		func(int) (int, error) { called = true; return 0, nil },
+		func(int, int) error { called = true; return nil })
+	if err != nil || called {
+		t.Fatalf("negative task count: err=%v called=%v", err, called)
+	}
+}
+
+// runCatching recovers Run's re-panic and returns it.
+func runCatching(t *testing.T, n, workers int, task func(i int) error) (rec any) {
+	t.Helper()
+	defer func() { rec = recover() }()
+	err := Run(n, workers,
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) error { return task(i) })
+	if err != nil {
+		t.Fatalf("unexpected error instead of panic: %v", err)
+	}
+	return nil
+}
+
+func TestRunPanicPropagatesLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		rec := runCatching(t, 8, workers, func(i int) error {
+			ran.Add(1)
+			if i == 2 || i == 6 {
+				panic(fmt.Sprintf("boom %d", i))
+			}
+			return nil
+		})
+		tp, ok := rec.(TaskPanic)
+		if !ok {
+			t.Fatalf("workers=%d: recovered %T (%v), want TaskPanic", workers, rec, rec)
+		}
+		if tp.Task != 2 || tp.Value != "boom 2" {
+			t.Errorf("workers=%d: got TaskPanic{%d, %v}, want task 2", workers, tp.Task, tp.Value)
+		}
+		if !strings.Contains(tp.Error(), "task 2 panicked: boom 2") {
+			t.Errorf("workers=%d: unhelpful message %q", workers, tp.Error())
+		}
+		// The pooled path runs every task despite the panics; the inline
+		// path stops at the first one (index order, so equally deterministic).
+		if workers == 1 && ran.Load() != 3 {
+			t.Errorf("inline run executed %d tasks before the panic, want 3", ran.Load())
+		}
+		if workers > 1 && ran.Load() != 8 {
+			t.Errorf("pooled run executed %d of 8 tasks", ran.Load())
+		}
+	}
+}
+
+func TestRunPanicUnwrapsErrorValue(t *testing.T) {
+	sentinel := errors.New("wrapped cause")
+	rec := runCatching(t, 2, 2, func(i int) error {
+		if i == 1 {
+			panic(sentinel)
+		}
+		return nil
+	})
+	tp, ok := rec.(TaskPanic)
+	if !ok {
+		t.Fatalf("recovered %T, want TaskPanic", rec)
+	}
+	if !errors.Is(tp, sentinel) {
+		t.Errorf("TaskPanic does not unwrap to the panicked error")
+	}
+}
+
+func TestRunPanicBeatsError(t *testing.T) {
+	// A panic anywhere outranks task errors: the caller must not mistake a
+	// crashed batch for a cleanly failed one.
+	rec := runCatching(t, 4, 2, func(i int) error {
+		if i == 0 {
+			return errors.New("ordinary failure")
+		}
+		if i == 3 {
+			panic("late crash")
+		}
+		return nil
+	})
+	tp, ok := rec.(TaskPanic)
+	if !ok || tp.Task != 3 {
+		t.Fatalf("recovered %v, want TaskPanic for task 3", rec)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if tp, ok := recover().(TaskPanic); !ok || tp.Task != 1 {
+			t.Errorf("ForEach panic not propagated as TaskPanic: %v", tp)
+		}
+	}()
+	_ = ForEach(3, 3, func(i int) error {
+		if i == 1 {
+			panic("fe")
+		}
+		return nil
+	})
+	t.Error("ForEach returned instead of panicking")
+}
+
+func TestMemoCacheLimitRejectsNewAtCapacity(t *testing.T) {
+	c := NewMemoCache()
+	c.SetLimit(2)
+	if c.Limit() != 2 {
+		t.Fatalf("Limit() = %d", c.Limit())
+	}
+	c.Put(1, 1.0)
+	c.Put(2, 2.0)
+	c.Put(3, 3.0) // at capacity: new key rejected
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d after capped insert, want 2", c.Len())
+	}
+	if _, ok := c.Get(3); ok {
+		t.Error("rejected key 3 is resident")
+	}
+	if c.Dropped() != 1 {
+		t.Errorf("Dropped() = %d, want 1", c.Dropped())
+	}
+	// Overwrites of resident keys still land at capacity.
+	c.Put(2, 22.0)
+	if v, ok := c.Get(2); !ok || v != 22.0 {
+		t.Errorf("overwrite at capacity lost: %v %v", v, ok)
+	}
+	if c.Dropped() != 1 {
+		t.Errorf("overwrite counted as drop: Dropped() = %d", c.Dropped())
+	}
+	// Raising the cap admits new keys again.
+	c.SetLimit(3)
+	c.Put(3, 3.0)
+	if v, ok := c.Get(3); !ok || v != 3.0 {
+		t.Error("key rejected below capacity")
+	}
+}
+
+func TestMemoCacheSetLimitBelowCurrentSize(t *testing.T) {
+	c := NewMemoCache()
+	for k := uint64(0); k < 5; k++ {
+		c.Put(k, float64(k))
+	}
+	c.SetLimit(2)
+	if c.Len() != 5 {
+		t.Errorf("shrinking the cap evicted entries: Len() = %d", c.Len())
+	}
+	c.Put(9, 9.0)
+	if _, ok := c.Get(9); ok {
+		t.Error("new key admitted above the cap")
+	}
+	for k := uint64(0); k < 5; k++ {
+		if v, ok := c.Get(k); !ok || v != float64(k) {
+			t.Errorf("resident key %d lost after cap shrink", k)
+		}
+	}
+}
+
+func TestMemoCacheReset(t *testing.T) {
+	c := NewMemoCache()
+	c.SetLimit(1)
+	c.Put(1, 1.0)
+	c.Put(2, 2.0) // dropped
+	c.Get(1)      // hit
+	c.Get(7)      // miss
+	c.Reset()
+	if c.Len() != 0 || c.Hits() != 0 || c.Misses() != 0 || c.Dropped() != 0 {
+		t.Errorf("Reset left state: len=%d hits=%d misses=%d dropped=%d",
+			c.Len(), c.Hits(), c.Misses(), c.Dropped())
+	}
+	if c.Limit() != 1 {
+		t.Errorf("Reset cleared the limit: %d", c.Limit())
+	}
+	c.Put(3, 3.0)
+	if v, ok := c.Get(3); !ok || v != 3.0 {
+		t.Error("cache unusable after Reset")
+	}
+}
+
+func TestMemoCacheUnlimitedByDefault(t *testing.T) {
+	c := NewMemoCache()
+	for k := uint64(0); k < 10_000; k++ {
+		c.Put(k, float64(k))
+	}
+	if c.Len() != 10_000 || c.Dropped() != 0 {
+		t.Errorf("unbounded cache dropped entries: len=%d dropped=%d", c.Len(), c.Dropped())
+	}
+	c.SetLimit(-5)
+	c.Put(99_999, 1)
+	if c.Limit() != 0 || c.Len() != 10_001 {
+		t.Errorf("negative limit not treated as unbounded: limit=%d len=%d", c.Limit(), c.Len())
+	}
+}

@@ -1,0 +1,110 @@
+package proptest
+
+import (
+	"fmt"
+	"math"
+)
+
+// Primitive draws. Every draw consumes exactly one tape word per random
+// decision and maps the zero word to the smallest / simplest value of its
+// range, so integer-shrinking the tape shrinks the generated structure.
+
+// Uint64 draws a raw 64-bit word.
+func (t *T) Uint64() uint64 { return t.src.draw() }
+
+// Intn draws an integer in [0, n). n must be positive.
+func (t *T) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("proptest: Intn(%d): n must be positive", n))
+	}
+	return int(t.src.draw() % uint64(n))
+}
+
+// IntRange draws an integer in [lo, hi] inclusive.
+func (t *T) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("proptest: IntRange(%d, %d): empty range", lo, hi))
+	}
+	return lo + t.Intn(hi-lo+1)
+}
+
+// Int64Range draws an int64 in [lo, hi] inclusive.
+func (t *T) Int64Range(lo, hi int64) int64 {
+	if hi < lo {
+		panic(fmt.Sprintf("proptest: Int64Range(%d, %d): empty range", lo, hi))
+	}
+	span := uint64(hi-lo) + 1
+	if span == 0 { // full 64-bit range
+		return int64(t.src.draw())
+	}
+	return lo + int64(t.src.draw()%span)
+}
+
+// Bool draws a coin flip; the zero word is false.
+func (t *T) Bool() bool { return t.src.draw()&1 == 1 }
+
+// Float01 draws a float in [0, 1) with 53 bits of precision; the zero word
+// is exactly 0.
+func (t *T) Float01() float64 {
+	return float64(t.src.draw()>>11) / (1 << 53)
+}
+
+// Float64Range draws a float in [lo, hi); the zero word is exactly lo.
+func (t *T) Float64Range(lo, hi float64) float64 {
+	if !(lo < hi) {
+		panic(fmt.Sprintf("proptest: Float64Range(%g, %g): empty range", lo, hi))
+	}
+	return lo + t.Float01()*(hi-lo)
+}
+
+// Uint32 draws a 32-bit word.
+func (t *T) Uint32() uint32 { return uint32(t.src.draw()) }
+
+// Byte draws one byte.
+func (t *T) Byte() byte { return byte(t.src.draw()) }
+
+// Bytes draws a slice of up to maxLen bytes (possibly empty).
+func (t *T) Bytes(maxLen int) []byte {
+	n := t.Intn(maxLen + 1)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = t.Byte()
+	}
+	return out
+}
+
+// Pick draws one element of the given non-empty slice.
+func Pick[E any](t *T, choices []E) E {
+	return choices[t.Intn(len(choices))]
+}
+
+// FiniteFloat draws an arbitrary finite float64 spanning many orders of
+// magnitude (sign, exponent and mantissa drawn separately) — the adversarial
+// numeric input for serialization round-trip properties. The zero tape
+// collapses it to 0.
+func (t *T) FiniteFloat() float64 {
+	w := t.src.draw()
+	if w == 0 {
+		return 0
+	}
+	f := math.Float64frombits(w)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		// Re-bias the exponent into the finite range, keeping the mantissa.
+		f = math.Float64frombits(w&^(uint64(0x7ff)<<52) | (uint64(w>>52)%0x7ff)<<52)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0
+		}
+	}
+	return f
+}
+
+// String draws a string of up to maxLen runes from the given alphabet.
+func (t *T) String(alphabet string, maxLen int) string {
+	runes := []rune(alphabet)
+	n := t.Intn(maxLen + 1)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = runes[t.Intn(len(runes))]
+	}
+	return string(out)
+}

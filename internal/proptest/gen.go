@@ -1,0 +1,163 @@
+package proptest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dut"
+	"repro/internal/fuzzy"
+	"repro/internal/search"
+	"repro/internal/testgen"
+)
+
+// Domain generators: random-but-valid instances of the characterization
+// system's core value types. They live here (rather than in each suite) so
+// every invariant file across internal/{search,core,fuzzy,neural,obs}
+// generates from the same distributions. All of them draw through T, so
+// they shrink like any other property input.
+
+// GenSearchOptions draws a valid trip-point search configuration: a range
+// spanning a few decades of width, a resolution that keeps the full-range
+// budget in a realistic ATE band (≈6–24 probes), and either orientation.
+func GenSearchOptions(t *T) search.Options {
+	lo := t.Float64Range(-1000, 1000)
+	width := math.Pow(10, t.Float64Range(-1, 3)) // 0.1 .. 1000
+	// Resolution between ~2^-20 and ~2^-4 of the range keeps budgets sane.
+	res := width / math.Pow(2, t.Float64Range(4, 20))
+	orient := search.PassLow
+	if t.Bool() {
+		orient = search.PassHigh
+	}
+	return search.Options{Lo: lo, Hi: lo + width, Resolution: res, Orientation: orient}
+}
+
+// SUTPCase is one generated differential-oracle case: a search range, the
+// device's true trip boundary strictly inside it, and a reference trip
+// point RTP whose drift from the boundary stays inside the paper's
+// "well-designed device" band (§4: trip points cluster around RTP).
+type SUTPCase struct {
+	Opt  search.Options
+	Trip float64 // true pass/fail boundary
+	RTP  float64 // reference trip point a previous search established
+}
+
+// GenSUTPCase draws a differential-oracle case. The boundary sits in the
+// interior 10–90% of the range; the reference drifts at most maxDriftFrac
+// of the range away from it (clamped into the range).
+func GenSUTPCase(t *T, maxDriftFrac float64) SUTPCase {
+	opt := GenSearchOptions(t)
+	r := opt.Range()
+	trip := opt.Lo + t.Float64Range(0.1, 0.9)*r
+	drift := t.Float64Range(-maxDriftFrac, maxDriftFrac) * r
+	rtp := trip + drift
+	if rtp < opt.Lo {
+		rtp = opt.Lo
+	}
+	if rtp > opt.Hi {
+		rtp = opt.Hi
+	}
+	return SUTPCase{Opt: opt, Trip: trip, RTP: rtp}
+}
+
+// Measurer returns the deterministic noise-free pass/fail surface of the
+// case: pass on the passing side of Trip for the case's orientation.
+func (c SUTPCase) Measurer() search.Measurer {
+	return search.MeasurerFunc(func(v float64) (bool, error) {
+		if c.Opt.Orientation == search.PassHigh {
+			return v >= c.Trip, nil
+		}
+		return v <= c.Trip, nil
+	})
+}
+
+// GenConditions draws operating conditions inside the given limits.
+func GenConditions(t *T, lim testgen.ConditionLimits) testgen.Conditions {
+	return testgen.Conditions{
+		VddV:     t.Float64Range(lim.VddMin, lim.VddMax),
+		TempC:    t.Float64Range(lim.TempMin, lim.TempMax),
+		ClockMHz: t.Float64Range(lim.ClockMin, lim.ClockMax),
+	}
+}
+
+// GenSequence draws a vector sequence of n ∈ [minLen, maxLen] read/write/nop
+// cycles over the address space.
+func GenSequence(t *T, addrSpace uint32, minLen, maxLen int) testgen.Sequence {
+	if minLen < 1 {
+		minLen = 1
+	}
+	n := t.IntRange(minLen, maxLen)
+	seq := make(testgen.Sequence, n)
+	for i := range seq {
+		var v testgen.Vector
+		switch t.Intn(8) {
+		case 0: // occasional idle cycle
+			v.Op = testgen.OpNop
+		case 1, 2, 3: // reads
+			v.Op = testgen.OpRead
+			v.Addr = t.Uint32() % addrSpace
+		default: // writes dominate, like the random generator's patterns
+			v.Op = testgen.OpWrite
+			v.Addr = t.Uint32() % addrSpace
+			v.Data = t.Uint32()
+		}
+		seq[i] = v
+	}
+	return seq
+}
+
+// GenTest draws a complete named test: a generated sequence plus generated
+// conditions.
+func GenTest(t *T, addrSpace uint32, lim testgen.ConditionLimits, minLen, maxLen int) testgen.Test {
+	seq := GenSequence(t, addrSpace, minLen, maxLen)
+	return testgen.Test{
+		Name: fmt.Sprintf("prop-%016x", t.Uint64()),
+		Seq:  seq,
+		Cond: GenConditions(t, lim),
+	}
+}
+
+// GenFuzzyVariable draws a uniformly partitioned linguistic variable: a
+// random universe and 2–9 terms (the AutoPartition construction used by the
+// trip-point coder).
+func GenFuzzyVariable(t *T) *fuzzy.Variable {
+	n := t.IntRange(2, 9)
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("t%d", i)
+	}
+	min := t.Float64Range(-100, 100)
+	width := math.Pow(10, t.Float64Range(-1, 3))
+	v, err := fuzzy.AutoPartition(fmt.Sprintf("v%d", n), min, min+width, labels)
+	if err != nil {
+		// AutoPartition only fails on empty universes, which the draw above
+		// cannot produce.
+		panic(fmt.Sprintf("proptest: AutoPartition rejected generated universe: %v", err))
+	}
+	return v
+}
+
+// GenTopology draws an MLP topology: the fixed input/output widths with 0–3
+// hidden layers of 1–16 units.
+func GenTopology(t *T, inputs, outputs int) []int {
+	hidden := t.Intn(4)
+	sizes := make([]int, 0, hidden+2)
+	sizes = append(sizes, inputs)
+	for i := 0; i < hidden; i++ {
+		sizes = append(sizes, t.IntRange(1, 16))
+	}
+	return append(sizes, outputs)
+}
+
+// GenDie draws a process-corner die, occasionally with an extra T_DQ offset
+// or a weak cell, the way production lots vary.
+func GenDie(t *T, id int, addrSpace uint32) *dut.Die {
+	corner := Pick(t, []dut.Corner{dut.CornerFast, dut.CornerTypical, dut.CornerSlow})
+	var opts []dut.DieOption
+	if t.Intn(4) == 0 {
+		opts = append(opts, dut.WithExtraTDQOffsetNS(t.Float64Range(0, 2)))
+	}
+	if t.Intn(4) == 0 {
+		opts = append(opts, dut.WithWeakCell(t.Uint32()%addrSpace, t.Float64Range(1.4, 1.7)))
+	}
+	return dut.NewDie(id, corner, opts...)
+}

@@ -1,0 +1,226 @@
+// Package proptest is the repo's seeded, fully deterministic
+// property-based testing harness. Invariant suites across the stack — the
+// SUTP-vs-full-range differential oracle, parallel-vs-serial
+// bit-equivalence, fuzzy partition properties, serialization round-trip
+// closure — are written as ordinary `go test` functions that call Check
+// with a property over randomly generated cases.
+//
+// Determinism and repro: the base seed of every property derives from the
+// test name, so a plain `go test` run checks the same cases every time.
+// Each case has its own printable 64-bit seed; a failure report ends with a
+// one-line repro of the form
+//
+//	go test -run '^TestName$' -proptest.seed=1234567890
+//
+// which re-runs exactly the failing case (and its shrink) and nothing else.
+//
+// Shrinking: generators draw 64-bit words from a recorded tape, and every
+// primitive draw maps the zero word to its minimal value. When a case
+// fails, the harness minimizes the integers on the tape — deleting draws
+// and binary-searching surviving values toward zero — and reports the
+// minimal still-failing counterexample. Properties describe their generated
+// case with T.Logf; the report replays the logs of the shrunk case.
+package proptest
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+)
+
+var (
+	flagSeed = flag.Int64("proptest.seed", 0,
+		"replay a single property case by its printed seed (0 = full run)")
+	flagCases = flag.Int("proptest.cases", 0,
+		"override the number of generated cases per property (0 = per-call default)")
+)
+
+// T is the per-case handle a property receives: draw methods (draw.go and
+// gen.go) plus a testing.TB-flavoured failure and logging surface. A
+// property signals falsification with Fatalf/Errorf/Fail; logs are buffered
+// and replayed only for the final, shrunk counterexample.
+type T struct {
+	seed   uint64
+	src    *source
+	failed bool
+	msgs   []string
+	logs   []string
+}
+
+// failNow is the sentinel panic that unwinds a property after Fatalf.
+type failNow struct{}
+
+// discardCase is the sentinel panic that unwinds a property after Discard.
+type discardCase struct{}
+
+// Seed returns the current case's seed — the value the repro line prints.
+func (t *T) Seed() uint64 { return t.seed }
+
+// Logf buffers a case-description line; the failure report replays the
+// shrunk case's log.
+func (t *T) Logf(format string, args ...any) {
+	t.logs = append(t.logs, fmt.Sprintf(format, args...))
+}
+
+// Errorf records a falsification and lets the property continue.
+func (t *T) Errorf(format string, args ...any) {
+	t.failed = true
+	t.msgs = append(t.msgs, fmt.Sprintf(format, args...))
+}
+
+// Fatalf records a falsification and stops the case immediately.
+func (t *T) Fatalf(format string, args ...any) {
+	t.Errorf(format, args...)
+	panic(failNow{})
+}
+
+// Fail records an unexplained falsification and continues.
+func (t *T) Fail() { t.failed = true }
+
+// Failed reports whether the case has been falsified so far.
+func (t *T) Failed() bool { return t.failed }
+
+// Discard abandons the current case without judging it — the precondition
+// filter for generators that occasionally produce inapplicable inputs.
+// Discarded cases count toward neither passes nor failures.
+func (t *T) Discard() { panic(discardCase{}) }
+
+// outcome is one property execution's result.
+type outcome struct {
+	failed    bool
+	discarded bool
+	msgs      []string
+	logs      []string
+	panicked  any // non-nil when the property panicked (counts as failure)
+}
+
+// runCase executes the property once against the given source, converting
+// Fatalf unwinds, Discard unwinds and genuine panics into an outcome.
+func runCase(seed uint64, src *source, prop func(*T)) (out outcome) {
+	t := &T{seed: seed, src: src}
+	defer func() {
+		out.failed = t.failed
+		out.msgs = t.msgs
+		out.logs = t.logs
+		switch r := recover(); r {
+		case nil:
+		default:
+			switch r.(type) {
+			case failNow:
+			case discardCase:
+				out.discarded = true
+				out.failed = false
+			default:
+				out.failed = true
+				out.panicked = r
+				out.msgs = append(out.msgs, fmt.Sprintf("property panicked: %v", r))
+			}
+		}
+	}()
+	prop(t)
+	return
+}
+
+// baseSeed derives the deterministic per-property base seed from the test
+// name.
+func baseSeed(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	s := h.Sum64()
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// runRegex builds the anchored -run expression for a (possibly nested) test
+// name.
+func runRegex(name string) string {
+	return "^" + strings.ReplaceAll(name, "/", "$/^") + "$"
+}
+
+// Check runs the property over `cases` generated cases (overridable with
+// -proptest.cases). On falsification it shrinks the counterexample and
+// fails the surrounding test with the shrunk case's log, the falsification
+// messages and a one-line repro command. With -proptest.seed=N it replays
+// exactly the case with seed N.
+func Check(t *testing.T, cases int, prop func(*T)) {
+	t.Helper()
+	if *flagCases > 0 {
+		cases = *flagCases
+	}
+	if cases < 1 {
+		cases = 1
+	}
+
+	if *flagSeed != 0 {
+		seed := uint64(*flagSeed)
+		src := newRecordingSource(seed)
+		out := runCase(seed, src, prop)
+		if out.discarded {
+			t.Logf("proptest: case seed=%d discarded by the property", seed)
+			return
+		}
+		if out.failed {
+			report(t, seed, src.tape, out, prop, 1)
+		}
+		return
+	}
+
+	base := baseSeed(t.Name())
+	discards := 0
+	for i := 0; i < cases; i++ {
+		seed := mix(base, i)
+		src := newRecordingSource(seed)
+		out := runCase(seed, src, prop)
+		if out.discarded {
+			discards++
+			if discards > 10*cases {
+				t.Fatalf("proptest: %d of %d cases discarded — generator preconditions too strict", discards, discards+i)
+			}
+			cases++ // a discarded case is replaced, not counted
+			continue
+		}
+		if out.failed {
+			report(t, seed, src.tape, out, prop, i+1)
+			return
+		}
+	}
+}
+
+// report shrinks the failing tape and fails the test with the minimal
+// counterexample.
+func report(t *testing.T, seed uint64, tape []uint64, first outcome, prop func(*T), caseNo int) {
+	t.Helper()
+	fails := func(candidate []uint64) bool {
+		out := runCase(seed, newReplaySource(candidate), prop)
+		return out.failed && !out.discarded
+	}
+	shrunk, attempts := shrink(tape, fails)
+
+	// Replay the minimal tape once more to collect its logs and messages.
+	final := runCase(seed, newReplaySource(shrunk), prop)
+	if !final.failed {
+		final = first // cannot happen (shrink keeps only failing tapes), but stay safe
+	}
+
+	t.Fatal(failureMessage(t.Name(), seed, caseNo, len(tape), len(shrunk), attempts, final))
+}
+
+// failureMessage renders the falsification report: the shrunk case's log
+// and messages plus the single-line repro command.
+func failureMessage(testName string, seed uint64, caseNo, drawsBefore, drawsAfter, attempts int, final outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proptest: falsified (case %d, %d→%d draws after %d shrink runs)\n",
+		caseNo, drawsBefore, drawsAfter, attempts)
+	for _, l := range final.logs {
+		fmt.Fprintf(&b, "  case: %s\n", l)
+	}
+	for _, m := range final.msgs {
+		fmt.Fprintf(&b, "  fail: %s\n", m)
+	}
+	fmt.Fprintf(&b, "  repro: go test -run '%s' -proptest.seed=%d", runRegex(testName), int64(seed))
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package proptest
+
+// The integer shrinker. A counterexample is a tape of 64-bit draws; smaller
+// tapes with smaller integers decode — through the zero-is-minimal draw
+// convention — to structurally smaller generated cases. Shrinking therefore
+// needs no knowledge of what the property generated: it deletes draw
+// chunks, then minimizes each surviving draw toward zero, re-running the
+// property on every candidate and keeping it only when it still fails.
+//
+// Everything is deterministic: candidate order is fixed, the property
+// re-runs on replayed tapes, and the attempt budget bounds worst-case work.
+
+// maxShrinkRuns bounds the total number of property executions one shrink
+// may spend.
+const maxShrinkRuns = 1200
+
+// shrink minimizes a failing tape, returning the smallest still-failing
+// tape found and the number of property runs spent.
+func shrink(tape []uint64, fails func([]uint64) bool) ([]uint64, int) {
+	cur := append([]uint64(nil), tape...)
+	runs := 0
+	try := func(candidate []uint64) bool {
+		if runs >= maxShrinkRuns {
+			return false
+		}
+		runs++
+		if fails(candidate) {
+			cur = append(cur[:0:0], candidate...)
+			return true
+		}
+		return false
+	}
+
+	for improved := true; improved && runs < maxShrinkRuns; {
+		improved = false
+
+		// Pass 1: delete chunks, largest first. Removing draws collapses
+		// whole generated sub-structures (later draws shift left and the
+		// tail reads as zeros).
+		for size := len(cur) / 2; size >= 1; size /= 2 {
+			for start := 0; start+size <= len(cur); {
+				candidate := make([]uint64, 0, len(cur)-size)
+				candidate = append(candidate, cur[:start]...)
+				candidate = append(candidate, cur[start+size:]...)
+				if try(candidate) {
+					improved = true
+					// cur shrank; stay at the same start.
+					continue
+				}
+				start += size
+			}
+		}
+
+		// Pass 2: minimize each surviving draw toward zero — zero first,
+		// then binary-search the smallest failing value.
+		for i := 0; i < len(cur); i++ {
+			v := cur[i]
+			if v == 0 {
+				continue
+			}
+			set := func(x uint64) []uint64 {
+				candidate := append([]uint64(nil), cur...)
+				candidate[i] = x
+				return candidate
+			}
+			if try(set(0)) {
+				improved = true
+				continue
+			}
+			// Smallest failing value in (0, v]: invariant — hi fails, lo
+			// does not.
+			lo, hi := uint64(0), v
+			for hi-lo > 1 && runs < maxShrinkRuns {
+				mid := lo + (hi-lo)/2
+				if try(set(mid)) {
+					hi = mid
+					improved = improved || mid != v
+				} else {
+					lo = mid
+				}
+			}
+		}
+	}
+	return cur, runs
+}

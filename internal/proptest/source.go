@@ -1,0 +1,67 @@
+package proptest
+
+// The draw source. Every random decision a property makes is one 64-bit
+// draw, and the sequence of draws — the tape — fully determines the
+// generated case. Recording mode produces fresh draws from a splitmix64
+// stream and appends them to the tape; replay mode feeds a (possibly
+// mutated) tape back to the very same generator code. That split is what
+// makes shrinking possible without structure-aware shrinkers: minimizing
+// the integers on the tape minimizes whatever the generators build from
+// them, because every primitive draw maps 0 to its smallest/simplest value.
+type source struct {
+	state  uint64
+	tape   []uint64
+	pos    int
+	replay bool
+}
+
+// newRecordingSource draws fresh values from the case seed.
+func newRecordingSource(seed uint64) *source {
+	return &source{state: seed}
+}
+
+// newReplaySource replays a recorded (or shrunk) tape. Draws past the end
+// of the tape return zero: a shrink that truncates the tape collapses the
+// remaining structure to the generators' minimal values.
+func newReplaySource(tape []uint64) *source {
+	return &source{tape: tape, replay: true}
+}
+
+// draw produces the next 64-bit value.
+func (s *source) draw() uint64 {
+	if s.replay {
+		if s.pos < len(s.tape) {
+			v := s.tape[s.pos]
+			s.pos++
+			return v
+		}
+		s.pos++
+		return 0
+	}
+	v := splitmix64(&s.state)
+	s.tape = append(s.tape, v)
+	return v
+}
+
+// splitmix64 is the standard 64-bit mixer (Vigna): a tiny, fast,
+// well-distributed PRNG whose whole state is one uint64, so a case seed is
+// one printable integer.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mix folds a case index into a base seed, decorrelating neighbouring
+// cases. Never returns zero, which the -proptest.seed flag reserves for
+// "no replay".
+func mix(base uint64, i int) uint64 {
+	s := base + uint64(i)*0x9e3779b97f4a7c15
+	v := splitmix64(&s)
+	if v == 0 {
+		return 1
+	}
+	return v
+}

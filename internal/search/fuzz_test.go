@@ -1,0 +1,62 @@
+package search_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/search"
+)
+
+// FuzzSUTPBounds hammers the reference-anchored searcher with arbitrary
+// range/resolution/SF/reference configurations — NaNs, infinities,
+// denormals, reversed ranges. The contract under fuzz: Search must
+// terminate and either return a configuration error or a result whose
+// reported values lie inside the range; it must never panic, hang, or
+// fabricate an out-of-range trip point.
+func FuzzSUTPBounds(f *testing.F) {
+	f.Add(10.0, 45.0, 0.1, 0.0, 20.0, 22.0, false)    // TDQ-style PassLow
+	f.Add(1.0, 2.2, 0.01, 0.0, 1.48, 1.5, true)       // VddMin-style PassHigh
+	f.Add(40.0, 150.0, 0.5, 2.0, 96.0, 95.0, false)   // Fmax with explicit SF
+	f.Add(0.0, 1.0, 1e-9, 5e-324, 0.5, 0.5, false)    // denormal SF
+	f.Add(5.0, 5.0, 0.1, 0.0, 5.0, 5.0, false)        // empty range
+	f.Add(math.Inf(-1), math.Inf(1), 1.0, 0.0, 0.0, 0.0, false)
+	f.Add(0.0, 100.0, 0.1, math.NaN(), math.NaN(), 50.0, true)
+	f.Add(-1e300, 1e300, 1e-300, 1.0, 0.0, 0.0, false) // astronomic CR/SF ratio
+	f.Add(1e9, 1e9+1, 1e-12, 1e-15, 1e9, 1e9+0.5, false) // SF below one ULP
+
+	f.Fuzz(func(t *testing.T, lo, hi, res, sf, rtp, trip float64, passHigh bool) {
+		opt := search.Options{Lo: lo, Hi: hi, Resolution: res}
+		if passHigh {
+			opt.Orientation = search.PassHigh
+		}
+		m := search.MeasurerFunc(func(v float64) (bool, error) {
+			if opt.Orientation == search.PassHigh {
+				return v >= trip, nil
+			}
+			return v <= trip, nil
+		})
+
+		s := &search.SUTP{SF: sf, Refine: true}
+		s.SetReference(rtp)
+		r, err := s.Search(m, opt)
+		if err != nil {
+			return // rejected configurations are fine; panics/hangs are not
+		}
+		if opt.Validate() != nil {
+			t.Fatalf("invalid options %+v accepted: %+v", opt, r)
+		}
+		if math.IsNaN(r.TripPoint) || r.TripPoint < opt.Lo || r.TripPoint > opt.Hi {
+			t.Fatalf("trip point %g outside range [%g, %g]", r.TripPoint, opt.Lo, opt.Hi)
+		}
+		if r.Measurements <= 0 {
+			t.Fatalf("result without measurements: %+v", r)
+		}
+		if r.Converged {
+			if r.LastPass < opt.Lo || r.LastPass > opt.Hi ||
+				r.FirstFail < opt.Lo || r.FirstFail > opt.Hi {
+				t.Fatalf("bracket [%g, %g] outside range [%g, %g]",
+					r.LastPass, r.FirstFail, opt.Lo, opt.Hi)
+			}
+		}
+	})
+}

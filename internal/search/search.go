@@ -11,7 +11,10 @@
 // about.
 package search
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Orientation tells the search on which side of the trip point the device
 // passes.
@@ -55,13 +58,18 @@ type Options struct {
 	Orientation Orientation
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Non-finite bounds and resolutions
+// are rejected: an infinite range can never be halved below a finite
+// resolution, so accepting one would hang every bisecting searcher.
 func (o Options) Validate() error {
+	if math.IsNaN(o.Lo) || math.IsInf(o.Lo, 0) || math.IsNaN(o.Hi) || math.IsInf(o.Hi, 0) {
+		return fmt.Errorf("search: range [%g, %g] is not finite", o.Lo, o.Hi)
+	}
 	if !(o.Lo < o.Hi) {
 		return fmt.Errorf("search: range [%g, %g] is empty", o.Lo, o.Hi)
 	}
-	if !(o.Resolution > 0) {
-		return fmt.Errorf("search: resolution %g must be positive", o.Resolution)
+	if !(o.Resolution > 0) || math.IsInf(o.Resolution, 0) {
+		return fmt.Errorf("search: resolution %g must be positive and finite", o.Resolution)
 	}
 	return nil
 }

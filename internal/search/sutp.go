@@ -1,6 +1,9 @@
 package search
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // SUTP is the paper's Search Until Trip Point algorithm (§4). The first
 // search of a multiple-trip-point run covers the full characterization
@@ -78,12 +81,22 @@ func (s *SUTP) Search(m Measurer, opt Options) (Result, error) {
 		return res, nil
 	}
 
+	if math.IsNaN(s.rtp) {
+		return Result{}, fmt.Errorf("search: SUTP reference trip point is NaN")
+	}
 	sf := s.SF
 	if sf == 0 {
 		sf = 8 * opt.Resolution
 	}
-	if sf <= 0 {
-		return Result{}, fmt.Errorf("search: SUTP search factor %g must be positive", sf)
+	if !(sf > 0) || math.IsInf(sf, 0) {
+		return Result{}, fmt.Errorf("search: SUTP search factor %g must be positive and finite", sf)
+	}
+	// The accelerating scan needs ~√(2·CR/SF) probes to cover the whole
+	// range. A search factor that is pathologically small relative to the
+	// range (corrupt configuration, denormal SF) would make that count
+	// astronomical; refuse it instead of looping for hours.
+	if steps := math.Sqrt(2 * opt.Range() / sf); !(steps < 1e6) {
+		return Result{}, fmt.Errorf("search: SUTP search factor %g too small for range %g", sf, opt.Range())
 	}
 
 	c := &counting{m: m}
@@ -142,8 +155,17 @@ func (s *SUTP) Search(m Measurer, opt Options) (Result, error) {
 	v := start
 	offset := 0.0
 	for it := 1; ; it++ {
+		prev := v
 		offset += sf * float64(it)
 		v = clampInto(start + dir*offset)
+		if v == prev && v != opt.Lo && v != opt.Hi {
+			// The step underflowed the floating-point grid around the
+			// reference (SF orders of magnitude below one ULP of RTP): the
+			// probe position will never move, so fail fast instead of
+			// spinning.
+			return Result{Measurements: c.n}, fmt.Errorf(
+				"search: SUTP search factor %g underflows at reference %g", sf, start)
+		}
 		probe, err := c.Passes(v)
 		if err != nil {
 			return Result{Measurements: c.n}, err

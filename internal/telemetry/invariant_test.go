@@ -1,0 +1,138 @@
+// Property-based invariants for the hand-rolled JSON emission in the
+// tracer hot path: appendJSONFloat and appendJSONString must agree with
+// encoding/json on every finite float and every string, so the trace
+// stream stays parseable by any standard JSON consumer while remaining
+// allocation-free to produce.
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/proptest"
+)
+
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	proptest.Check(t, 500, func(pt *proptest.T) {
+		f := pt.FiniteFloat()
+		pt.Logf("f=%v bits=%#x", f, math.Float64bits(f))
+
+		got := string(appendJSONFloat(nil, f))
+		want, err := json.Marshal(f)
+		if err != nil {
+			pt.Fatalf("encoding/json rejected finite float %v: %v", f, err)
+		}
+		if got != string(want) {
+			pt.Errorf("appendJSONFloat(%v) = %q, encoding/json = %q", f, got, want)
+		}
+		var back float64
+		if err := json.Unmarshal([]byte(got), &back); err != nil {
+			pt.Fatalf("emitted float %q does not parse: %v", got, err)
+		}
+		if back != f && !(math.IsNaN(back) && math.IsNaN(f)) {
+			pt.Errorf("float round trip lost precision: %v → %q → %v", f, got, back)
+		}
+	})
+}
+
+func TestAppendJSONFloatNonFiniteIsValidJSON(t *testing.T) {
+	for _, f := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		got := appendJSONFloat(nil, f)
+		var s string
+		if err := json.Unmarshal(got, &s); err != nil {
+			t.Errorf("appendJSONFloat(%v) = %q is not a JSON string: %v", f, got, err)
+		}
+	}
+}
+
+func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
+	proptest.Check(t, 500, func(pt *proptest.T) {
+		var s string
+		if pt.Bool() {
+			// Raw bytes: exercises invalid UTF-8 and control characters.
+			s = string(pt.Bytes(32))
+		} else {
+			s = pt.String("ab\"\\\n\t\x00é€🂡<>&", 32)
+		}
+		pt.Logf("s=%q", s)
+
+		got := string(appendJSONString(nil, s))
+		want, err := json.Marshal(s)
+		if err != nil {
+			pt.Fatalf("encoding/json rejected string %q: %v", s, err)
+		}
+		if got != string(want) {
+			pt.Errorf("appendJSONString(%q) = %q, encoding/json = %q", s, got, want)
+		}
+	})
+}
+
+// TestTracerStreamIsCanonicalJSONL: a tracer emitting generated span
+// structures with every field type must produce lines that are each valid
+// JSON objects with strictly increasing seq — the envelope contract
+// ParseTrace relies on.
+func TestTracerStreamIsCanonicalJSONL(t *testing.T) {
+	proptest.Check(t, 100, func(pt *proptest.T) {
+		var buf deterministicBuffer
+		tr := NewTracer(&buf)
+		root := tr.StartSpan("run", S("mode", pt.String("abc", 8)))
+		n := pt.IntRange(1, 20)
+		open := []*Span{root}
+		for i := 0; i < n; i++ {
+			s := open[pt.Intn(len(open))]
+			switch pt.Intn(3) {
+			case 0:
+				open = append(open, s.Child("child", I("i", i)))
+			case 1:
+				s.Event("tick", F("v", pt.FiniteFloat()), B("ok", pt.Bool()))
+			default:
+				s.End(I("n", pt.Intn(1000)))
+			}
+		}
+		root.End()
+		if err := tr.Close(); err != nil {
+			pt.Fatalf("tracer error: %v", err)
+		}
+		pt.Logf("events=%d bytes=%d", n, len(buf.b))
+
+		lastSeq := int64(0)
+		for ln, line := range splitLines(buf.b) {
+			var m map[string]any
+			if err := json.Unmarshal(line, &m); err != nil {
+				pt.Fatalf("line %d is not valid JSON: %v (%q)", ln+1, err, line)
+			}
+			seq, ok := m["seq"].(float64)
+			if !ok || int64(seq) <= lastSeq {
+				pt.Errorf("line %d: seq %v not strictly increasing after %d", ln+1, m["seq"], lastSeq)
+			}
+			lastSeq = int64(seq)
+		}
+	})
+}
+
+// deterministicBuffer is a minimal bytes.Buffer stand-in (avoids importing
+// bytes alongside the package's own buffered writer).
+type deterministicBuffer struct{ b []byte }
+
+func (d *deterministicBuffer) Write(p []byte) (int, error) {
+	d.b = append(d.b, p...)
+	return len(p), nil
+}
+
+func splitLines(b []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			if i > start {
+				out = append(out, b[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(b) {
+		out = append(out, b[start:])
+	}
+	return out
+}

@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"sync"
@@ -212,14 +213,28 @@ func appendValue(b []byte, v any) []byte {
 	}
 }
 
-// appendJSONFloat writes the shortest round-trip decimal form, matching
-// encoding/json for finite values; non-finite values (invalid JSON) are
-// written as quoted strings.
+// appendJSONFloat writes the shortest round-trip decimal form, byte-for-byte
+// matching encoding/json for finite values (pinned by a property test):
+// fixed-point notation in the human range, exponent notation outside it,
+// with the exponent's leading zero trimmed. Non-finite values (invalid
+// JSON) are written as quoted strings.
 func appendJSONFloat(b []byte, f float64) []byte {
-	if f != f || f > 1.797693134862315708e308 || f < -1.797693134862315708e308 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
 		return strconv.AppendQuote(b, strconv.FormatFloat(f, 'g', -1, 64))
 	}
-	return strconv.AppendFloat(b, f, 'g', -1, 64)
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
 }
 
 // appendJSONString writes a JSON string using encoding/json's escaper, which
