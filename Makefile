@@ -1,9 +1,10 @@
-.PHONY: ci check test invariants fuzz-smoke bench bench-parallel bench-obs bench-kernels tracestat
+.PHONY: ci check test invariants fuzz-smoke bench bench-parallel bench-obs bench-kernels bench-lot tracestat
 
 # The full CI gate: vet + build + race-enabled tests + coverage floors +
 # fuzz smoke + the telemetry smoke run + the short benchmark passes that
-# write BENCH_parallel.json, BENCH_obs.json and BENCH_kernels.json (with
-# the allocs/op ceiling gate).
+# write BENCH_parallel.json, BENCH_obs.json, BENCH_kernels.json (with the
+# allocs/op ceiling gate) and BENCH_lot.json (with the streamed-lot speedup
+# and warm-hit-rate gates).
 ci:
 	./ci.sh
 
@@ -51,6 +52,12 @@ bench-obs:
 # ensemble voting and the batched entry point.
 bench-kernels:
 	go test -run '^$$' -bench 'LearningKernels' -benchmem -benchtime 20x -timeout 10m .
+
+# The fab-scale lot pipeline benchmarks: the frozen per-die loop baseline
+# against streamed screening at workers 1/2/8, with the disk cache off,
+# cold and warm (dies/sec, hit rate, allocs per die).
+bench-lot:
+	go test -run '^$$' -bench 'LotScreen' -benchtime 1x -timeout 60m .
 
 # Record a short instrumented run and analyze its trace: per-phase cost
 # rollups, the critical path, and a Chrome trace-event export to load at

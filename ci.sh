@@ -6,10 +6,12 @@
 # benchmark passes that record the perf trajectory in BENCH_parallel.json
 # (fig. 5 + Table 1 ns/op and measurement counts), BENCH_obs.json
 # (instrumented-flow ns/op, cache hit rate, measurements per op) and
-# BENCH_kernels.json (neural kernel ns/op, B/op and allocs/op). The kernel
-# pass is also a hard gate: allocs/op above the pinned ceilings fails CI so
-# allocation regressions in the zero-allocation hot path cannot land
-# silently.
+# BENCH_kernels.json (neural kernel ns/op, B/op and allocs/op) and
+# BENCH_lot.json (streamed lot screening dies/sec across the worker ladder,
+# disk cache cold/warm). The kernel and lot passes are also hard gates:
+# allocs/op above the pinned ceilings, a streamed lot slower than 2x the
+# per-die loop, or a warm-cache run serving under 50% of dies from disk all
+# fail CI, so regressions in the hot paths cannot land silently.
 set -eu
 cd "$(dirname "$0")"
 
@@ -36,6 +38,7 @@ cat "$COVER_TXT"
 awk '
 	BEGIN {
 		floor["repro/internal/ate"] = 80
+		floor["repro/internal/cachestore"] = 80
 		floor["repro/internal/charspec"] = 80
 		floor["repro/internal/cli"] = 70
 		floor["repro/internal/core"] = 80
@@ -252,3 +255,67 @@ printf '%s\n' "$KERNELS_OUT" | awk '
 ' > BENCH_kernels.json
 echo "wrote BENCH_kernels.json:"
 cat BENCH_kernels.json
+
+echo "== lot pipeline benchmark (fab-scale gates) =="
+# Three hard gates on the streamed lot pipeline, measured on a 10k-die lot:
+#   - speedup: streamed workers=8 cache=off must screen >= 2x the dies/sec
+#     of the frozen pre-streaming per-die loop (BenchmarkLotScreenPerDieLoop);
+#   - warm hit rate: a run against an already-populated cache dir must serve
+#     >= 50% of dies from disk (in practice 100%);
+#   - allocations: the streamed path must stay under 48 mallocs per die
+#     (~3x the 15 measured after the hoisted-worker/profile-bank rewrite).
+LOT_OUT=$(go test -run '^$' \
+	-bench '^(BenchmarkLotScreenPerDieLoop|BenchmarkLotScreenStream)$' \
+	-benchtime 1x -timeout 60m .)
+printf '%s\n' "$LOT_OUT"
+printf '%s\n' "$LOT_OUT" | awk '
+	BEGIN {
+		printf "[\n"
+		alloc_ceiling = 48
+		min_speedup = 2.0
+		min_warm_hit_rate = 0.5
+		perdie = 0; stream8 = 0
+		fail = 0
+	}
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		ns = "null"; dps = "null"; meas = "null"; rate = "null"; apd = "null"; bytes = "null"
+		for (i = 2; i <= NF; i++) {
+			if ($i == "ns/op") ns = $(i - 1)
+			if ($i == "dies_per_sec") dps = $(i - 1)
+			if ($i == "measurements") meas = $(i - 1)
+			if ($i == "hit_rate") rate = $(i - 1)
+			if ($i == "allocs_per_die") apd = $(i - 1)
+			if ($i == "bytes_on_disk") bytes = $(i - 1)
+		}
+		if (n++) printf ",\n"
+		printf "  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"dies_per_sec\": %s, \"ate_measurements\": %s, \"hit_rate\": %s, \"allocs_per_die\": %s, \"bytes_on_disk\": %s}", \
+			name, ns, dps, meas, rate, apd, bytes
+		if (name == "BenchmarkLotScreenPerDieLoop") perdie = dps + 0
+		if (name == "BenchmarkLotScreenStream/workers=8/cache=off") stream8 = dps + 0
+		if (name ~ /cache=warm/ && rate != "null" && rate + 0 < min_warm_hit_rate) {
+			printf "FAIL: %s hit rate %s below %.2f\n", name, rate, min_warm_hit_rate > "/dev/stderr"
+			fail = 1
+		}
+		if (name ~ /cache=off/ && apd != "null" && apd + 0 > alloc_ceiling) {
+			printf "FAIL: %s allocs_per_die = %s exceeds ceiling %d\n", name, apd, alloc_ceiling > "/dev/stderr"
+			fail = 1
+		}
+	}
+	END {
+		printf "\n]\n"
+		if (perdie <= 0 || stream8 <= 0) {
+			printf "FAIL: lot benchmark output missing per-die or streamed dies_per_sec\n" > "/dev/stderr"
+			fail = 1
+		} else if (stream8 < min_speedup * perdie) {
+			printf "FAIL: streamed workers=8 %.0f dies/sec is below %.1fx the per-die loop (%.0f)\n", \
+				stream8, min_speedup, perdie > "/dev/stderr"
+			fail = 1
+		} else {
+			printf "lot gate: streamed %.0f dies/sec = %.2fx per-die loop %.0f\n", stream8, stream8 / perdie, perdie
+		}
+		exit fail
+	}
+' > BENCH_lot.json
+echo "wrote BENCH_lot.json:"
+cat BENCH_lot.json

@@ -110,6 +110,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// With -cache-dir, recover the previous identical run's memoized
+	// fitness values: the store scope binds parameter, geometry, die and
+	// seed, so only entries this exact flow produced ever load.
+	memoStore, err := common.OpenCacheStore(char.MemoCacheScope())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if memoStore != nil {
+		if n := char.PrimeMemoCache(memoStore); n > 0 {
+			fmt.Printf("disk cache: primed %d memoized measurements from %s\n", n, common.CacheDir)
+		}
+	}
+
 	fmt.Printf("Learning scheme (fig. 4): %d random tests on %s die, parameter %s\n",
 		cfg.LearnTests, die.Corner, param)
 	learned, err := char.Learn()
@@ -166,6 +179,15 @@ func main() {
 		opt.GA.Generations, opt.GA.Evaluations, opt.GA.Restarts, opt.Measurements)
 	hits, misses := char.CacheStats()
 	cli.PrintCacheSummary(os.Stdout, hits, misses)
+	if memoStore != nil {
+		n, err := char.PersistMemoCache(memoStore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  disk cache: %d memoized measurements persisted (%d bytes on disk)\n",
+			n, memoStore.BytesOnDisk())
+		cli.RecordDiskCache(tel, memoStore)
+	}
 	fmt.Printf("  worst case: %s  WCR %.3f (%s)  %s = %.3f %s\n",
 		best.Test.Name, best.WCR, best.Class, param, best.Value, param.Unit())
 	if best.Class == wcr.Weakness || best.Class == wcr.Fail {

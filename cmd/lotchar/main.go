@@ -8,6 +8,7 @@
 //
 //	lotchar -db worst.json -dies 25
 //	lotchar -dies 10 -guardband 0.08        # built-in worst-case pattern
+//	lotchar -wafers 4 -dies 2500 -cache-dir /tmp/lotcache   # fab-scale, persisted
 package main
 
 import (
@@ -15,14 +16,34 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/ate"
+	"repro/internal/cachestore"
 	"repro/internal/charspec"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dut"
+	"repro/internal/telemetry"
 	"repro/internal/testgen"
 )
+
+// printLotCost prints the one-line lot cost summary: throughput, total
+// ATE measurements, and disk-cache effectiveness when a store is attached.
+func printLotCost(rep *core.LotReport, store *cachestore.Store, wallSec float64) {
+	dps := 0.0
+	if wallSec > 0 {
+		dps = float64(rep.DieCount) / wallSec
+	}
+	line := fmt.Sprintf("lot cost: %d dies in %.2fs (%.1f dies/sec), %d ATE measurements",
+		rep.DieCount, wallSec, dps, rep.Measurements)
+	if store != nil {
+		st := store.Stats()
+		line += fmt.Sprintf(", disk cache hit rate %.1f%% (%d/%d, %d bytes on disk)",
+			100*telemetry.HitRate(st.Hits, st.Misses), st.Hits, st.Hits+st.Misses, st.BytesOnDisk)
+	}
+	fmt.Println(line)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -31,11 +52,18 @@ func main() {
 	common := cli.Register(nil)
 	var (
 		dbPath    = flag.String("db", "", "worst-case database from 'characterize -db' (optional)")
-		dies      = flag.Int("dies", 20, "number of dies in the sample lot")
+		dies      = flag.Int("dies", 20, "number of dies in the sample lot (with -wafers: dies per wafer)")
+		wafers    = flag.Int("wafers", 0, "screen a wafer lot with spatially structured process variation (0 = flat i.i.d. lot)")
 		guardband = flag.Float64("guardband", 0.05, "spec extraction guardband fraction")
 	)
 	flag.Parse()
 	seed, sites := &common.Seed, &common.Parallel
+	if *dies < 1 {
+		log.Fatalf("-dies must be at least 1, got %d", *dies)
+	}
+	if *wafers < 0 {
+		log.Fatalf("-wafers must not be negative, got %d", *wafers)
+	}
 
 	stopProfiles, profErr := common.StartProfiles()
 	if profErr != nil {
@@ -93,18 +121,42 @@ func main() {
 	tests = append(tests, march)
 
 	// --- Lot screen -------------------------------------------------------
-	lot := dut.NewDieLot(*seed, *dies)
-	rep, err := core.ScreenLotParallelTel(ate.TDQ, tests, lot, geom, *seed, *sites, tel)
+	// Flat lots keep the legacy i.i.d. sample; -wafers switches to the
+	// spatial wafer model. Either way the dies stream through the bounded
+	// pipeline — per-die results are not retained, so lot size no longer
+	// bounds memory.
+	var src dut.DieSource
+	if *wafers > 0 {
+		wl, err := dut.NewWaferLot(*seed, *wafers, *dies)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = wl
+	} else {
+		src = dut.LotSlice(dut.NewDieLot(*seed, *dies))
+	}
+	store, err := common.OpenCacheStore(core.LotCacheScope)
 	if err != nil {
 		log.Fatal(err)
 	}
+	screenStart := time.Now()
+	rep, err := core.ScreenLotStream(ate.TDQ, tests, src, geom, *seed, core.LotOptions{
+		Workers:   *sites,
+		Cache:     store,
+		Telemetry: tel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	screenWall := time.Since(screenStart).Seconds()
 	fmt.Println()
 	fmt.Print(rep.Format())
+	printLotCost(rep, store, screenWall)
 
 	// --- Spec extraction on the worst die ---------------------------------
 	var worstDie *dut.Die
-	for _, d := range lot {
-		if d.ID == rep.WorstDie.DieID {
+	for i := 0; i < src.Len(); i++ {
+		if d := src.Die(i); d.ID == rep.WorstDie.DieID {
 			worstDie = d
 			break
 		}

@@ -78,6 +78,14 @@ type ATE struct {
 	// (single measurement).
 	Repeats int
 
+	// Profiler, when non-nil, replaces dev.Profile as the pattern-execution
+	// path — lot screening installs a dut.ProfileBank here so identical
+	// patterns execute once per lot instead of once per die. The override
+	// must return results bit-identical to dev.Profile; cost accounting
+	// (Profiles, pattern-load time) is unchanged, because the tester still
+	// charges a pattern load even when the simulation shortcuts it.
+	Profiler func(dev *dut.Device, t testgen.Test) (dut.Profile, error)
+
 	stats Stats
 
 	// profile cache for the test currently loaded in pattern memory;
@@ -127,7 +135,13 @@ func (a *ATE) load(t testgen.Test) (dut.Profile, error) {
 	if a.haveCached && a.cachedName == t.Name {
 		return a.cached, nil
 	}
-	p, err := a.dev.Profile(t)
+	var p dut.Profile
+	var err error
+	if a.Profiler != nil {
+		p, err = a.Profiler(a.dev, t)
+	} else {
+		p, err = a.dev.Profile(t)
+	}
 	if err != nil {
 		return dut.Profile{}, err
 	}

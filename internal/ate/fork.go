@@ -29,6 +29,7 @@ func (a *ATE) Fork(seed int64) (*ATE, error) {
 	f.NoiseFraction = a.NoiseFraction
 	f.Repeats = a.Repeats
 	f.Heating = a.Heating.Clone()
+	f.Profiler = a.Profiler
 	return f, nil
 }
 

@@ -1,0 +1,325 @@
+package cachestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/proptest"
+)
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", 1); err == nil {
+		t.Fatal("Open(\"\") succeeded, want error")
+	}
+}
+
+func TestOpenCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "cache")
+	s, err := Open(dir, 42)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if s.Len() != 0 || s.Stats().LoadedSegments != 0 {
+		t.Fatalf("fresh store not empty: len=%d stats=%+v", s.Len(), s.Stats())
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("directory not created: %v", err)
+	}
+}
+
+func TestBasicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 7)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s.Put(1, []byte("alpha"))
+	s.Put(2, []byte{})
+	s.PutFloat64(3, 1.25)
+	if n, err := s.Flush(); err != nil || n != 3 {
+		t.Fatalf("Flush = %d, %v; want 3, nil", n, err)
+	}
+	// A second flush with nothing dirty writes nothing.
+	if n, err := s.Flush(); err != nil || n != 0 {
+		t.Fatalf("empty Flush = %d, %v; want 0, nil", n, err)
+	}
+
+	r, err := Open(dir, 7)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got, ok := r.Get(1); !ok || string(got) != "alpha" {
+		t.Errorf("Get(1) = %q, %v", got, ok)
+	}
+	if got, ok := r.Get(2); !ok || len(got) != 0 {
+		t.Errorf("Get(2) = %q, %v; want empty, true", got, ok)
+	}
+	if v, ok := r.GetFloat64(3); !ok || v != 1.25 {
+		t.Errorf("GetFloat64(3) = %v, %v", v, ok)
+	}
+	if _, ok := r.Get(99); ok {
+		t.Error("Get(99) hit, want miss")
+	}
+	st := r.Stats()
+	if st.LoadedEntries != 3 || st.LoadedSegments != 1 || st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BytesOnDisk <= 0 {
+		t.Errorf("BytesOnDisk = %d, want > 0", st.BytesOnDisk)
+	}
+}
+
+func TestFlushAppendsSegmentsAndOverrides(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 7)
+	s.Put(1, []byte("old"))
+	s.Flush()
+	s.Put(1, []byte("new"))
+	s.Put(2, []byte("two"))
+	s.Flush()
+
+	segs, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("segments = %v, want 2 files", segs)
+	}
+
+	r, err := Open(dir, 7)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got, _ := r.Get(1); string(got) != "new" {
+		t.Errorf("later segment did not override: Get(1) = %q", got)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	// Rewriting a key with its persisted value queues nothing.
+	r.Put(1, []byte("new"))
+	if n, err := r.Flush(); err != nil || n != 0 {
+		t.Errorf("no-op Put flushed %d records (%v), want 0", n, err)
+	}
+}
+
+func TestScopeIsolation(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Open(dir, 0xAAAA)
+	a.Put(1, []byte("scope-a"))
+	if _, err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, 0xBBBB)
+	if err != nil {
+		t.Fatalf("Open scope B alongside scope A segment: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("scope B loaded %d foreign entries", b.Len())
+	}
+	if st := b.Stats(); st.SkippedSegments != 1 || st.LoadedSegments != 0 {
+		t.Errorf("scope B stats = %+v, want 1 skipped segment", st)
+	}
+	b.Put(1, []byte("scope-b"))
+	if _, err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Both scopes coexist in one directory, each seeing only its own value.
+	a2, _ := Open(dir, 0xAAAA)
+	b2, _ := Open(dir, 0xBBBB)
+	if got, _ := a2.Get(1); string(got) != "scope-a" {
+		t.Errorf("scope A sees %q", got)
+	}
+	if got, _ := b2.Get(1); string(got) != "scope-b" {
+		t.Errorf("scope B sees %q", got)
+	}
+}
+
+// Corrupting any single byte of a segment must fail Open with an error
+// naming the file and a byte offset (except scope bytes, which change the
+// segment's identity and make it skipped instead).
+func TestCorruptSegmentRejectedWithOffset(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 7)
+	s.Put(0xDEAD, []byte("payload"))
+	s.PutFloat64(0xBEEF, 3.5)
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segmentNames(dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	path := filepath.Join(dir, segs[0])
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for off := 0; off < len(orig); off++ {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0xFF
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, 7)
+		if off >= 8 && off < 16 {
+			// Scope bytes: the segment now belongs to a different scope and
+			// is skipped, not rejected.
+			if err != nil {
+				t.Errorf("offset %d (scope byte): Open failed: %v", off, err)
+			} else if st := r.Stats(); st.SkippedSegments != 1 {
+				t.Errorf("offset %d (scope byte): stats = %+v, want skip", off, st)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("offset %d: corruption accepted", off)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, segs[0]) || !strings.Contains(msg, "offset") {
+			t.Errorf("offset %d: error %q does not name file and offset", off, msg)
+		}
+	}
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 7); err != nil {
+		t.Fatalf("restored segment rejected: %v", err)
+	}
+}
+
+func TestTruncatedSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 7)
+	s.Put(1, []byte("hello"))
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segmentNames(dir)
+	path := filepath.Join(dir, segs[0])
+	orig, _ := os.ReadFile(path)
+	for _, cut := range []int{len(orig) - 1, len(orig) - 5, headerSize + 3, headerSize, 4, 0} {
+		if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, 7)
+		switch {
+		case cut == headerSize:
+			// A header with zero records is a legal empty segment.
+			if err != nil || r.Len() != 0 {
+				t.Errorf("header-only segment: err = %v, len = %d", err, r.Len())
+			}
+		case cut > headerSize:
+			if err == nil || !strings.Contains(err.Error(), "offset") {
+				t.Errorf("truncation to %d bytes: err = %v, want offset-naming error", cut, err)
+			}
+		default:
+			if err == nil {
+				t.Errorf("truncation to %d bytes accepted", cut)
+			}
+		}
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "sub.seg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 7)
+	if err != nil {
+		t.Fatalf("Open with foreign files: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("loaded %d entries from foreign files", s.Len())
+	}
+}
+
+// Round-trip closure: any set of entries written through any interleaving
+// of Puts and Flushes loads back byte-identical, with later writes
+// overriding earlier ones.
+func TestRoundTripClosure(t *testing.T) {
+	proptest.Check(t, 40, func(pt *proptest.T) {
+		dir, err := os.MkdirTemp("", "cachestore-prop-*")
+		if err != nil {
+			pt.Fatalf("tempdir: %v", err)
+		}
+		defer os.RemoveAll(dir)
+
+		scope := pt.Uint64()
+		s, err := Open(dir, scope)
+		if err != nil {
+			pt.Fatalf("Open: %v", err)
+		}
+
+		keys := make([]uint64, pt.IntRange(1, 12))
+		for i := range keys {
+			keys[i] = pt.Uint64()
+		}
+		want := map[uint64][]byte{}
+		nOps := pt.IntRange(1, 60)
+		flushes := 0
+		for i := 0; i < nOps; i++ {
+			if pt.Intn(8) == 0 {
+				if _, err := s.Flush(); err != nil {
+					pt.Fatalf("Flush: %v", err)
+				}
+				flushes++
+				continue
+			}
+			k := proptest.Pick(pt, keys)
+			v := pt.Bytes(24)
+			s.Put(k, v)
+			want[k] = append([]byte(nil), v...)
+		}
+		if _, err := s.Flush(); err != nil {
+			pt.Fatalf("final Flush: %v", err)
+		}
+		pt.Logf("%d ops, %d interleaved flushes, %d distinct keys, scope %#x",
+			nOps, flushes, len(want), scope)
+
+		r, err := Open(dir, scope)
+		if err != nil {
+			pt.Fatalf("reopen: %v", err)
+		}
+		if r.Len() != len(want) {
+			pt.Fatalf("reloaded %d entries, want %d", r.Len(), len(want))
+		}
+		for k, v := range want {
+			got, ok := r.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				pt.Errorf("key %#x = %x (present %v), want %x", k, got, ok, v)
+			}
+		}
+		if st := r.Stats(); st.LoadedEntries != int64(len(want)) {
+			pt.Errorf("LoadedEntries = %d, want %d", st.LoadedEntries, len(want))
+		}
+	})
+}
+
+func TestRangeFloat64(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 7)
+	s.PutFloat64(1, 0.5)
+	s.PutFloat64(2, -3.25)
+	s.Put(3, []byte("not-a-float"))
+	got := map[uint64]float64{}
+	s.RangeFloat64(func(k uint64, v float64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != 2 || got[1] != 0.5 || got[2] != -3.25 {
+		t.Errorf("RangeFloat64 = %v", got)
+	}
+	if v, ok := s.GetFloat64(3); ok {
+		t.Errorf("GetFloat64 on non-scalar entry = %v, true", v)
+	}
+}

@@ -1,7 +1,7 @@
 // Package cli is the shared command-line substrate of the cmd/ binaries:
 // one flag-registration helper so every tool spells the common knobs the
-// same way (-seed, -parallel, -no-cache, -trace, -metrics, -report,
-// -listen, -cpuprofile, -memprofile), plus the telemetry bootstrap that
+// same way (-seed, -parallel, -no-cache, -cache-dir, -trace, -metrics,
+// -report, -listen, -cpuprofile, -memprofile), plus the telemetry bootstrap that
 // turns those flags into a live run-telemetry handle, a worker-pool
 // observer, an optional live observability HTTP server and an end-of-run
 // report, and the pprof bootstrap for profiling the compute kernels.
@@ -16,6 +16,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/ate"
+	"repro/internal/cachestore"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
@@ -26,6 +27,7 @@ type Common struct {
 	Seed     int64
 	Parallel int
 	NoCache  bool
+	CacheDir string
 
 	TracePath   string
 	MetricsPath string
@@ -50,6 +52,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.Int64Var(&c.Seed, "seed", 1, "random seed for the whole run")
 	fs.IntVar(&c.Parallel, "parallel", 0, "worker count for every parallel stage (0 = one per CPU, 1 = serial; results are identical either way)")
 	fs.BoolVar(&c.NoCache, "no-cache", false, "disable the measurement memo-cache (re-measure structurally identical tests)")
+	fs.StringVar(&c.CacheDir, "cache-dir", "", "persist measurement results in this directory (content-addressed; a second identical run serves them from disk)")
 	fs.StringVar(&c.TracePath, "trace", "", "write a structured JSONL event trace here (bit-identical for any -parallel)")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write the end-of-run metrics snapshot as JSON here")
 	fs.BoolVar(&c.Report, "report", false, "print the run report (phase breakdown, cache hit rate, measurements saved) on exit")
@@ -57,6 +60,41 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.CPUProfilePath, "cpuprofile", "", "write a pprof CPU profile of the run here")
 	fs.StringVar(&c.MemProfilePath, "memprofile", "", "write a pprof heap profile (after a final GC) here on exit")
 	return c
+}
+
+// OpenCacheStore opens the disk measurement store -cache-dir requests,
+// under the given format scope (each record family — lot die records,
+// memoized trip points — owns a scope constant, so incompatible segment
+// files coexist in one directory and are skipped, not misread). Returns
+// (nil, nil) when the flag is unset; callers treat a nil store as "no
+// persistence".
+func (c *Common) OpenCacheStore(scope uint64) (*cachestore.Store, error) {
+	if c.CacheDir == "" {
+		return nil, nil
+	}
+	s, err := cachestore.Open(c.CacheDir, scope)
+	if err != nil {
+		return nil, fmt.Errorf("cli: opening cache dir: %w", err)
+	}
+	return s, nil
+}
+
+// RecordDiskCache feeds a store's counters into the run telemetry (report
+// disk-cache line, Prometheus gauges, live /progress). Nil store or nil
+// telemetry is a no-op, so callers can pass both through unconditionally.
+func RecordDiskCache(tel *telemetry.Telemetry, store *cachestore.Store) {
+	if store == nil {
+		return
+	}
+	st := store.Stats()
+	tel.RecordDiskCache(telemetry.DiskCacheStats{
+		LoadedEntries:  st.LoadedEntries,
+		LoadedSegments: st.LoadedSegments,
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		FlushedEntries: st.FlushedEntries,
+		BytesOnDisk:    st.BytesOnDisk,
+	})
 }
 
 // StartProfiles starts the profiling the -cpuprofile/-memprofile flags

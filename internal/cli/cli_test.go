@@ -331,3 +331,30 @@ func TestPrintCacheSummary(t *testing.T) {
 		t.Errorf("disabled summary = %q", buf.String())
 	}
 }
+
+func TestOpenCacheStore(t *testing.T) {
+	c := &Common{}
+	s, err := c.OpenCacheStore(1)
+	if err != nil || s != nil {
+		t.Fatalf("unset -cache-dir: store=%v err=%v, want nil/nil", s, err)
+	}
+	c.CacheDir = t.TempDir() + "/cache"
+	s, err = c.OpenCacheStore(7)
+	if err != nil || s == nil {
+		t.Fatalf("OpenCacheStore: store=%v err=%v", s, err)
+	}
+	s.Put(1, []byte("x"))
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening under the same scope recovers the entry; a different
+	// scope skips the segment.
+	same, err := c.OpenCacheStore(7)
+	if err != nil || same.Len() != 1 {
+		t.Fatalf("reopen: len=%d err=%v", same.Len(), err)
+	}
+	other, err := c.OpenCacheStore(8)
+	if err != nil || other.Len() != 0 {
+		t.Fatalf("foreign scope: len=%d err=%v", other.Len(), err)
+	}
+}

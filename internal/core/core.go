@@ -137,6 +137,9 @@ type Characterizer struct {
 
 	learned  *LearningResult
 	lastEval *parallelEvaluator
+	// primed holds disk-recovered fitness values (PrimeMemoCache) that
+	// seed the next Optimize run's memo-cache.
+	primed map[uint64]float64
 }
 
 // NewCharacterizer wires a flow against a tester insertion.

@@ -53,6 +53,13 @@ func newParallelEvaluator(c *Characterizer) *parallelEvaluator {
 	e.budget = e.opts.FullRangeBudget()
 	if !c.cfg.DisableMeasurementCache {
 		e.cache = parallel.NewMemoCache()
+		// Seed disk-recovered values (scope-bound to this exact flow, see
+		// MemoCacheScope): primed tests are served without measuring, and
+		// because the values equal what a cold run would measure, the GA
+		// trajectory — and thus the results — stay bit-identical.
+		for k, v := range c.primed {
+			e.cache.Put(k, v)
+		}
 	}
 	return e
 }
@@ -92,9 +99,9 @@ func (e *parallelEvaluator) FitnessBatch(tests []testgen.Test) ([]float64, error
 		fpOf    []uint64 // the representative's fingerprint
 		members [][]int  // test indices sharing the representative's value
 	)
-	var hitsBefore, missBefore int64
+	var hitsBefore, missBefore, droppedBefore int64
 	if e.cache != nil {
-		hitsBefore, missBefore = e.cache.Hits(), e.cache.Misses()
+		hitsBefore, missBefore, droppedBefore = e.cache.Hits(), e.cache.Misses(), e.cache.Dropped()
 	}
 	groupOf := map[uint64]int{}
 	for i, tt := range tests {
@@ -186,6 +193,11 @@ func (e *parallelEvaluator) FitnessBatch(tests []testgen.Test) ([]float64, error
 	}
 	e.taskSeq += int64(len(reps))
 	e.evaluations += int64(len(reps))
+	// The merge loop above is serial, so the capacity-drop delta is as
+	// deterministic as the lookup deltas.
+	if e.cache != nil {
+		e.c.tel().RecordCacheDropped(e.cache.Dropped() - droppedBefore)
+	}
 	return out, nil
 }
 

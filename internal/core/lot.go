@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/ate"
 	"repro/internal/dut"
-	"repro/internal/parallel"
 	"repro/internal/search"
 	"repro/internal/telemetry"
 	"repro/internal/testgen"
@@ -39,7 +38,12 @@ type DieResult struct {
 type LotReport struct {
 	Parameter ate.Parameter
 	Tests     int
-	Dies      []DieResult
+	// DieCount is the number of dies screened. Dies carries the per-die
+	// results only when the screen retained them (LotOptions.RetainDies;
+	// the legacy ScreenLot entry points always do) — fab-scale streamed
+	// lots keep Dies nil and DieCount still counts every die.
+	DieCount int
+	Dies     []DieResult
 
 	// Worst-per-class statistics across the lot.
 	WorstDie       DieResult
@@ -47,6 +51,14 @@ type LotReport struct {
 	SpreadLot      float64 // max−min of per-die worst trip points
 	ClassCounts    map[wcr.Class]int
 	PerCornerWorst map[dut.Corner]float64
+
+	// Drift is the population-level trend of per-die worst trip points in
+	// screening order — a significant slope across a lot means the
+	// process (or the tester) shifted while the lot ran.
+	Drift trippoint.DriftReport
+	// Outliers are the dies most extreme against the lot population
+	// (|z| ≥ LotOptions.OutlierZ), most extreme first.
+	Outliers []trippoint.Outlier
 
 	Measurements int64
 	// Stats is the full tester cost summed over the per-die insertions.
@@ -123,85 +135,25 @@ func ScreenLotParallel(param ate.Parameter, tests []testgen.Test, dies []*dut.Di
 // ScreenLotParallelTel is ScreenLotParallel with run telemetry: the screen
 // runs under a "lot-screen" phase whose cost sums the hermetic per-die
 // tester insertions, and the merge loop (die order, so deterministic for
-// any worker count) emits one "die" event per die.
+// any worker count) emits one "die" event per die. It is a thin wrapper
+// over the streaming pipeline with the legacy defaults (per-die results
+// retained, no disk cache).
 func ScreenLotParallelTel(param ate.Parameter, tests []testgen.Test, dies []*dut.Die, geom dut.Geometry, baseSeed int64, workers int, tel *telemetry.Telemetry) (*LotReport, error) {
-	if len(tests) == 0 {
-		return nil, fmt.Errorf("core: lot screen needs at least one test")
-	}
-	if len(dies) == 0 {
-		return nil, fmt.Errorf("core: empty die lot")
-	}
-	ph := tel.StartPhase("lot-screen")
-	type outcome struct {
-		dr   DieResult
-		cost ate.Stats
-	}
-	results := make([]outcome, len(dies))
-	err := parallel.ForEach(len(dies), workers, func(i int) error {
-		dr, cost, err := screenDie(param, tests, dies[i], geom, baseSeed+int64(dies[i].ID))
-		if err != nil {
-			return err
-		}
-		results[i] = outcome{dr: dr, cost: cost}
-		return nil
+	return ScreenLotStream(param, tests, dut.LotSlice(dies), geom, baseSeed, LotOptions{
+		Workers:    workers,
+		RetainDies: true,
+		Telemetry:  tel,
 	})
-	if err != nil {
-		return nil, err
-	}
-
-	_, isMin := param.SpecValue()
-	worseThan := func(a, b float64) bool {
-		if isMin {
-			return a < b
-		}
-		return a > b
-	}
-	rep := &LotReport{
-		Parameter:      param,
-		Tests:          len(tests),
-		ClassCounts:    make(map[wcr.Class]int),
-		PerCornerWorst: make(map[dut.Corner]float64),
-	}
-	var sumWorst float64
-	minWorst, maxWorst := math.Inf(1), math.Inf(-1)
-	first := true
-	for i, res := range results {
-		dr := res.dr
-		tel.RecordItem("die", i+1, len(dies))
-		rep.Dies = append(rep.Dies, dr)
-		rep.ClassCounts[dr.Class]++
-		rep.Measurements += res.cost.Measurements
-		rep.Stats.Add(res.cost)
-		ph.Span().Event("die",
-			telemetry.I("die", dr.DieID),
-			telemetry.S("corner", dr.Corner.String()),
-			telemetry.F("worst_trip", dr.WorstTrip),
-			telemetry.F("wcr", dr.WCR),
-			telemetry.I("measurements", res.cost.Measurements),
-		)
-
-		sumWorst += dr.WorstTrip
-		minWorst = math.Min(minWorst, dr.WorstTrip)
-		maxWorst = math.Max(maxWorst, dr.WorstTrip)
-		corner := dies[i].Corner
-		if cur, ok := rep.PerCornerWorst[corner]; !ok || worseThan(dr.WorstTrip, cur) {
-			rep.PerCornerWorst[corner] = dr.WorstTrip
-		}
-		if first || dr.WCR > rep.WorstDie.WCR {
-			rep.WorstDie = dr
-			first = false
-		}
-	}
-	rep.MeanWorstTrip = sumWorst / float64(len(dies))
-	rep.SpreadLot = maxWorst - minWorst
-	ph.End(telCost(rep.Stats))
-	return rep, nil
 }
 
 // Format renders a lot summary.
 func (r *LotReport) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Lot screen: %d dies × %d tests, parameter %s\n", len(r.Dies), r.Tests, r.Parameter)
+	dies := r.DieCount
+	if dies == 0 {
+		dies = len(r.Dies)
+	}
+	fmt.Fprintf(&b, "Lot screen: %d dies × %d tests, parameter %s\n", dies, r.Tests, r.Parameter)
 	fmt.Fprintf(&b, "per-die worst trip: mean %.3f %s, lot spread %.3f %s\n",
 		r.MeanWorstTrip, r.Parameter.Unit(), r.SpreadLot, r.Parameter.Unit())
 	fmt.Fprintf(&b, "classes: pass %d, weakness %d, fail %d\n",
@@ -213,6 +165,20 @@ func (r *LotReport) Format() string {
 	}
 	fmt.Fprintf(&b, "worst die: #%d (%s) WCR %.3f (%s) via %s\n",
 		r.WorstDie.DieID, r.WorstDie.Corner, r.WorstDie.WCR, r.WorstDie.Class, r.WorstDie.WorstTest)
+	if r.Drift.Significant {
+		fmt.Fprintf(&b, "population drift: %+.4f %s across the lot (residual %.4f) — SIGNIFICANT\n",
+			r.Drift.TotalDrift, r.Parameter.Unit(), r.Drift.Residual)
+	}
+	if len(r.Outliers) > 0 {
+		fmt.Fprintf(&b, "outliers (|z| extremes): ")
+		for i, o := range r.Outliers {
+			if i > 0 {
+				fmt.Fprintf(&b, ", ")
+			}
+			fmt.Fprintf(&b, "#%d (%.3f %s, z %+.1f)", o.Index, o.Value, r.Parameter.Unit(), o.Z)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
 	fmt.Fprintf(&b, "cost: %d measurements\n", r.Measurements)
 	return b.String()
 }

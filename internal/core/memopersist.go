@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cachestore"
+)
+
+// Persistence for the optimization memo-cache: the GA's fitness values
+// (test-fingerprint → WCR) survive the process, so a re-run of the same
+// flow serves its measurements from disk. Values are only valid for the
+// exact flow that produced them — parameter, geometry, die and seed all
+// shift the measured trip points — so they persist under a scope derived
+// from that content: a store opened for a different flow skips the
+// segments entirely instead of mixing incompatible values.
+
+// memoScopeTag versions the float64 memo-record family; bump alongside any
+// change to what the values mean.
+const memoScopeTag uint64 = 0x54505631 // "TPV1"
+
+// fnvOffset is the FNV-1a 64-bit offset basis shared by the content keys.
+const fnvOffset uint64 = 14695981039346656037
+
+// fnvMix folds one 64-bit value into a running FNV-1a hash, byte-wise
+// little-endian.
+func fnvMix(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= prime
+	}
+	return h
+}
+
+// MemoCacheScope returns the cachestore scope binding persisted memo
+// entries to this flow's content: parameter, device geometry, die identity
+// and seed.
+func (c *Characterizer) MemoCacheScope() uint64 {
+	geom := c.ate.Device().Geometry()
+	h := fnvMix(fnvOffset, memoScopeTag)
+	h = fnvMix(h, uint64(c.cfg.Parameter))
+	h = fnvMix(h, uint64(geom.Banks))
+	h = fnvMix(h, uint64(geom.Rows))
+	h = fnvMix(h, uint64(geom.Cols))
+	h = fnvMix(h, c.ate.Device().Die().Fingerprint())
+	h = fnvMix(h, uint64(c.cfg.Seed))
+	return h
+}
+
+// PrimeMemoCache preloads every persisted fitness value from the store
+// into the next Optimize run's memo-cache and returns how many entries it
+// took. Because the store scope binds the flow content, a fully primed run
+// reproduces the cold run's results bit for bit while measuring only what
+// the cold run never saw. No-op (0) with a nil store or the cache
+// disabled.
+func (c *Characterizer) PrimeMemoCache(store *cachestore.Store) int {
+	if store == nil || c.cfg.DisableMeasurementCache {
+		return 0
+	}
+	if c.primed == nil {
+		c.primed = map[uint64]float64{}
+	}
+	n := 0
+	store.RangeFloat64(func(key uint64, value float64) bool {
+		c.primed[key] = value
+		n++
+		return true
+	})
+	return n
+}
+
+// PersistMemoCache writes the most recent optimization's memo-cache into
+// the store (8-byte float records via the cachestore float64 helpers, keys
+// sorted so segment bytes are deterministic) and flushes. Returns the
+// number of live cache entries. No-op with a nil store or before any
+// optimization ran.
+func (c *Characterizer) PersistMemoCache(store *cachestore.Store) (int, error) {
+	if store == nil || c.lastEval == nil || c.lastEval.cache == nil {
+		return 0, nil
+	}
+	type kv struct {
+		k uint64
+		v float64
+	}
+	var entries []kv
+	c.lastEval.cache.Range(func(key uint64, value float64) bool {
+		entries = append(entries, kv{key, value})
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
+	for _, e := range entries {
+		store.PutFloat64(e.k, e.v)
+	}
+	if _, err := store.Flush(); err != nil {
+		return 0, fmt.Errorf("core: persisting memo cache: %w", err)
+	}
+	return len(entries), nil
+}

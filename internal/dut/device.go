@@ -40,6 +40,19 @@ func (d *Device) Clone() (*Device, error) {
 	return NewDeviceWithPhysics(d.mem.Geometry(), d.die, d.phys)
 }
 
+// Retarget swaps a different die into the device, reusing the memory array
+// (contents, open-row state and per-die repairs are cleared). After
+// Retarget the device measures the new silicon exactly as a freshly
+// constructed device would; it exists so a lot-screening worker can walk
+// thousands of dies without a per-die array allocation.
+func (d *Device) Retarget(die *Die) error {
+	if err := d.mem.Retarget(die); err != nil {
+		return err
+	}
+	d.die = die
+	return nil
+}
+
 // Die returns the device's die.
 func (d *Device) Die() *Die { return d.die }
 

@@ -17,7 +17,11 @@
 // baselines and uniform random tests are unlikely to excite.
 package dut
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
 
 // Corner identifies a process corner of a fabricated die.
 type Corner uint8
@@ -151,3 +155,39 @@ func (d *Die) WeakCellThreshold(addr uint32) (float64, bool) {
 
 // WeakCellCount returns the number of injected weak cells.
 func (d *Die) WeakCellCount() int { return len(d.weakCells) }
+
+// Fingerprint returns a 64-bit FNV-1a content hash of the die: ID, corner,
+// the three process factors (exact float bits) and the weak-cell map in
+// address order. Two dies fingerprint equal exactly when they describe the
+// same silicon, which is what lets disk-cached screening results key on
+// "this die" rather than "this process run".
+func (d *Die) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(d.ID))
+	mix(uint64(d.Corner))
+	mix(math.Float64bits(d.tdqOffsetNS))
+	mix(math.Float64bits(d.speedFactor))
+	mix(math.Float64bits(d.leakageFactor))
+	if len(d.weakCells) > 0 {
+		addrs := make([]uint32, 0, len(d.weakCells))
+		for a := range d.weakCells {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			mix(uint64(a))
+			mix(math.Float64bits(d.weakCells[a]))
+		}
+	}
+	return h
+}

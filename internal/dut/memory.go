@@ -129,6 +129,23 @@ func NewMemory(geom Geometry, die *Die) (*Memory, error) {
 // Geometry returns the array geometry.
 func (m *Memory) Geometry() Geometry { return m.geom }
 
+// Retarget points the array at a different die, clearing contents, open-row
+// state and — because repairs are per-die eFuse state — any row remaps.
+// Retargeting reuses the word array, so a worker screening a stream of dies
+// pays the O(words) allocation once instead of per die.
+func (m *Memory) Retarget(die *Die) error {
+	if die == nil {
+		return fmt.Errorf("dut: nil die")
+	}
+	m.die = die
+	m.rowRemap = nil
+	for i := range m.sparesUsed {
+		m.sparesUsed[i] = 0
+	}
+	m.Reset()
+	return nil
+}
+
 // Reset clears the array contents and the open-row state.
 func (m *Memory) Reset() {
 	for i := range m.words {

@@ -65,6 +65,16 @@ type Snapshot struct {
 	CacheHits            int64   `json:"cache_hits"`
 	CacheMisses          int64   `json:"cache_misses"`
 	CacheHitRate         float64 `json:"cache_hit_rate"`
+
+	// Persistent measurement-store effectiveness (the -cache-dir disk
+	// cache); zero when no store is attached. The hit rate updates with
+	// every store report, so an SSE subscriber sees its trajectory.
+	DiskLoaded  int64   `json:"disk_cache_loaded,omitempty"`
+	DiskHits    int64   `json:"disk_cache_hits,omitempty"`
+	DiskMisses  int64   `json:"disk_cache_misses,omitempty"`
+	DiskFlushed int64   `json:"disk_cache_flushed,omitempty"`
+	DiskBytes   int64   `json:"disk_cache_bytes,omitempty"`
+	DiskHitRate float64 `json:"disk_cache_hit_rate,omitempty"`
 }
 
 // Progress publishes live run snapshots. Writers (the telemetry observer
@@ -181,6 +191,19 @@ func (p *Progress) CacheLookups(hits, misses int64, fullRangeBudget int) {
 		s.CacheMisses += misses
 		s.BaselineMeasurements += hits * int64(fullRangeBudget)
 		s.recomputeDerived()
+	})
+}
+
+// DiskCache implements telemetry.RunObserver: the payload carries the
+// run-accumulated store totals, so the snapshot stores them absolutely.
+func (p *Progress) DiskCache(d telemetry.DiskCacheStats) {
+	p.publish(func(s *Snapshot) {
+		s.DiskLoaded = d.LoadedEntries
+		s.DiskHits = d.Hits
+		s.DiskMisses = d.Misses
+		s.DiskFlushed = d.FlushedEntries
+		s.DiskBytes = d.BytesOnDisk
+		s.DiskHitRate = telemetry.HitRate(d.Hits, d.Misses)
 	})
 }
 

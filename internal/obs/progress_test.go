@@ -40,6 +40,7 @@ func TestProgressPublishAndWatch(t *testing.T) {
 
 	p.SearchRecorded(4, 64, true)
 	p.CacheLookups(3, 1, 64)
+	p.DiskCache(telemetry.DiskCacheStats{LoadedEntries: 4, Hits: 3, Misses: 9, FlushedEntries: 9, BytesOnDisk: 720})
 	p.Item("learn-test", 5, 120)
 	p.Generation(2, 1.5)
 	p.PhaseEnded("learn", telemetry.Cost{Measurements: 4, SimTimeSec: 0.5})
@@ -55,6 +56,9 @@ func TestProgressPublishAndWatch(t *testing.T) {
 	// baseline = 64 (search) + 3 hits × 64.
 	if s.BaselineMeasurements != 64+3*64 || s.MeasurementsSaved != 64+3*64-4 {
 		t.Errorf("baseline/saved = %d/%d", s.BaselineMeasurements, s.MeasurementsSaved)
+	}
+	if s.DiskLoaded != 4 || s.DiskHits != 3 || s.DiskMisses != 9 || s.DiskFlushed != 9 || s.DiskBytes != 720 || s.DiskHitRate != 0.25 {
+		t.Errorf("disk cache section = %+v", s)
 	}
 	if s.CacheHits != 3 || s.CacheMisses != 1 || s.CacheHitRate != 0.75 {
 		t.Errorf("cache = %d/%d rate %v", s.CacheHits, s.CacheMisses, s.CacheHitRate)

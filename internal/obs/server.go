@@ -160,17 +160,27 @@ type progressND struct {
 	PoolRuns      int64   `json:"pool_runs"`
 	PoolTasks     int64   `json:"pool_tasks"`
 	PoolMaxW      int64   `json:"pool_max_workers"`
+	// DiesPerSecond is the lot-screening throughput so far (the "die"
+	// item counter over uptime) — wall-clock derived, hence ND.
+	DiesPerSecond float64 `json:"dies_per_second,omitempty"`
 }
 
 func (s *Server) payload() progressPayload {
 	runs, tasks, maxw := s.opts.Progress.PoolStats()
+	snap := s.opts.Progress.Current()
+	uptime := time.Since(s.started).Seconds()
+	var dps float64
+	if die, ok := snap.Items["die"]; ok && die.Done > 0 && uptime > 0 {
+		dps = float64(die.Done) / uptime
+	}
 	return progressPayload{
-		Snapshot: s.opts.Progress.Current(),
+		Snapshot: snap,
 		NonDeterministic: progressND{
-			UptimeSeconds: time.Since(s.started).Seconds(),
+			UptimeSeconds: uptime,
 			PoolRuns:      runs,
 			PoolTasks:     tasks,
 			PoolMaxW:      maxw,
+			DiesPerSecond: dps,
 		},
 	}
 }

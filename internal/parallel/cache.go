@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -12,23 +14,86 @@ import (
 // later generations reuse their measured fitness instead of spending ATE
 // measurements again.
 //
+// The entry map is sharded into a power-of-two number of lock stripes
+// selected by the low fingerprint bits, so a large worker fleet doing
+// concurrent lookups never serializes on a single mutex. Sharding is pure
+// mechanics: hit/miss/dropped accounting stays exact (atomic counters) and
+// the retained set under a SetLimit capacity is a pure function of the
+// Put order, identical at 1 stripe and at N (pinned by the shard-count
+// invariance property test).
+//
 // Reads and writes are safe from any goroutine. Determinism callers care
 // about: resolve lookups and insert results at deterministic points (for
 // batch engines, before dispatch and after the batch completes in task
 // order), not concurrently from racing workers.
 type MemoCache struct {
-	mu      sync.RWMutex
-	m       map[uint64]float64
-	limit   int // 0 = unbounded
+	shards []memoShard
+	mask   uint64
+
+	// count is the total entry count across shards; Put consults it for
+	// the SetLimit capacity decision so the retained set does not depend
+	// on how keys distribute over stripes.
+	count atomic.Int64
+	limit atomic.Int64 // 0 = unbounded
+
 	hits    atomic.Int64
 	miss    atomic.Int64
 	dropped atomic.Int64
 }
 
-// NewMemoCache returns an empty, unbounded cache.
-func NewMemoCache() *MemoCache {
-	return &MemoCache{m: make(map[uint64]float64)}
+// memoShard is one lock stripe. Padding keeps neighbouring stripes off the
+// same cache line under write-heavy contention.
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[uint64]float64
+	_  [24]byte
 }
+
+// defaultStripes sizes the stripe count for the machine: the next power of
+// two at or above 4× the CPU count, capped at 256. One stripe per few
+// concurrent workers keeps collision probability low without bloating the
+// empty cache.
+func defaultStripes() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// NewMemoCache returns an empty, unbounded cache with a machine-sized
+// stripe count.
+func NewMemoCache() *MemoCache {
+	return NewMemoCacheStripes(defaultStripes())
+}
+
+// NewMemoCacheStripes returns an empty, unbounded cache with exactly n lock
+// stripes (rounded up to the next power of two; values below 1 select 1).
+// Behaviour is identical for every stripe count; the knob exists for the
+// invariance tests and for callers that know their concurrency profile.
+func NewMemoCacheStripes(n int) *MemoCache {
+	if n < 1 {
+		n = 1
+	}
+	n = 1 << bits.Len(uint(n-1))
+	c := &MemoCache{shards: make([]memoShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]float64)
+	}
+	return c
+}
+
+// shard selects the stripe for a key. The fingerprints are FNV-1a outputs,
+// so the low bits are already well mixed.
+func (c *MemoCache) shard(key uint64) *memoShard {
+	return &c.shards[key&c.mask]
+}
+
+// Stripes returns the number of lock stripes.
+func (c *MemoCache) Stripes() int { return len(c.shards) }
 
 // SetLimit caps the entry count at n (n <= 0 removes the cap). At
 // capacity, Put rejects *new* keys instead of evicting old ones:
@@ -38,26 +103,23 @@ func NewMemoCache() *MemoCache {
 // of insertion order. Overwrites of already-present keys always succeed.
 // Entries beyond an already-exceeded new cap stay until Reset.
 func (c *MemoCache) SetLimit(n int) {
-	c.mu.Lock()
 	if n < 0 {
 		n = 0
 	}
-	c.limit = n
-	c.mu.Unlock()
+	c.limit.Store(int64(n))
 }
 
 // Limit returns the current entry cap (0 = unbounded).
 func (c *MemoCache) Limit() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.limit
+	return int(c.limit.Load())
 }
 
 // Get returns the memoized value for key, counting a hit or a miss.
 func (c *MemoCache) Get(key uint64) (float64, bool) {
-	c.mu.RLock()
-	v, ok := c.m[key]
-	c.mu.RUnlock()
+	s := c.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -68,25 +130,42 @@ func (c *MemoCache) Get(key uint64) (float64, bool) {
 
 // Put memoizes value under key, overwriting any previous entry. At the
 // SetLimit capacity a new key is rejected (counted by Dropped) so the
-// caller simply re-measures it next time.
+// caller simply re-measures it next time. The capacity decision reads the
+// cross-shard total, so the retained set is the same no matter how keys
+// stripe.
 func (c *MemoCache) Put(key uint64, value float64) {
-	c.mu.Lock()
-	if c.limit > 0 && len(c.m) >= c.limit {
-		if _, exists := c.m[key]; !exists {
-			c.mu.Unlock()
-			c.dropped.Add(1)
-			return
-		}
+	s := c.shard(key)
+	s.mu.Lock()
+	if _, exists := s.m[key]; exists {
+		s.m[key] = value
+		s.mu.Unlock()
+		return
 	}
-	c.m[key] = value
-	c.mu.Unlock()
+	if limit := c.limit.Load(); limit > 0 {
+		// Reserve a slot before inserting: concurrent Puts each CAS their
+		// own increment, so the cap is never overshot even under racing
+		// writers on different stripes.
+		for {
+			cur := c.count.Load()
+			if cur >= limit {
+				s.mu.Unlock()
+				c.dropped.Add(1)
+				return
+			}
+			if c.count.CompareAndSwap(cur, cur+1) {
+				break
+			}
+		}
+	} else {
+		c.count.Add(1)
+	}
+	s.m[key] = value
+	s.mu.Unlock()
 }
 
 // Len returns the number of memoized entries.
 func (c *MemoCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	return int(c.count.Load())
 }
 
 // Hits returns how many Get calls found an entry.
@@ -99,13 +178,35 @@ func (c *MemoCache) Misses() int64 { return c.miss.Load() }
 // capacity.
 func (c *MemoCache) Dropped() int64 { return c.dropped.Load() }
 
+// Range calls fn for every memoized entry until fn returns false. The
+// iteration order is unspecified (it walks stripes and Go maps); callers
+// needing a stable order must sort the keys themselves. Do not call Get,
+// Put or Reset from fn.
+func (c *MemoCache) Range(fn func(key uint64, value float64) bool) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !fn(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
 // Reset empties the cache and zeroes the hit/miss/dropped counters,
 // keeping the configured limit. Batch engines call it between independent
 // runs that must not share measured values.
 func (c *MemoCache) Reset() {
-	c.mu.Lock()
-	clear(c.m)
-	c.mu.Unlock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		clear(s.m)
+		s.mu.Unlock()
+	}
+	c.count.Store(0)
 	c.hits.Store(0)
 	c.miss.Store(0)
 	c.dropped.Store(0)

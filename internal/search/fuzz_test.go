@@ -14,14 +14,14 @@ import (
 // reported values lie inside the range; it must never panic, hang, or
 // fabricate an out-of-range trip point.
 func FuzzSUTPBounds(f *testing.F) {
-	f.Add(10.0, 45.0, 0.1, 0.0, 20.0, 22.0, false)    // TDQ-style PassLow
-	f.Add(1.0, 2.2, 0.01, 0.0, 1.48, 1.5, true)       // VddMin-style PassHigh
-	f.Add(40.0, 150.0, 0.5, 2.0, 96.0, 95.0, false)   // Fmax with explicit SF
-	f.Add(0.0, 1.0, 1e-9, 5e-324, 0.5, 0.5, false)    // denormal SF
-	f.Add(5.0, 5.0, 0.1, 0.0, 5.0, 5.0, false)        // empty range
+	f.Add(10.0, 45.0, 0.1, 0.0, 20.0, 22.0, false)  // TDQ-style PassLow
+	f.Add(1.0, 2.2, 0.01, 0.0, 1.48, 1.5, true)     // VddMin-style PassHigh
+	f.Add(40.0, 150.0, 0.5, 2.0, 96.0, 95.0, false) // Fmax with explicit SF
+	f.Add(0.0, 1.0, 1e-9, 5e-324, 0.5, 0.5, false)  // denormal SF
+	f.Add(5.0, 5.0, 0.1, 0.0, 5.0, 5.0, false)      // empty range
 	f.Add(math.Inf(-1), math.Inf(1), 1.0, 0.0, 0.0, 0.0, false)
 	f.Add(0.0, 100.0, 0.1, math.NaN(), math.NaN(), 50.0, true)
-	f.Add(-1e300, 1e300, 1e-300, 1.0, 0.0, 0.0, false) // astronomic CR/SF ratio
+	f.Add(-1e300, 1e300, 1e-300, 1.0, 0.0, 0.0, false)   // astronomic CR/SF ratio
 	f.Add(1e9, 1e9+1, 1e-12, 1e-15, 1e9, 1e9+0.5, false) // SF below one ULP
 
 	f.Fuzz(func(t *testing.T, lo, hi, res, sf, rtp, trip float64, passHigh bool) {

@@ -23,6 +23,9 @@ type RunObserver interface {
 	SearchRecorded(measurements, fullRangeBudget int, converged bool)
 	// CacheLookups fires with memo-cache effectiveness deltas.
 	CacheLookups(hits, misses int64, fullRangeBudget int)
+	// DiskCache fires when a persistent measurement store reports its
+	// counters, with the run-accumulated totals across all stores.
+	DiskCache(d DiskCacheStats)
 	// Generation fires once per completed GA generation.
 	Generation(gen int, bestWCR float64)
 	// Item fires on fine-grained loop progress: done of total units of the

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -20,6 +21,9 @@ func (r *recordingObserver) SearchRecorded(m, budget int, conv bool) {
 }
 func (r *recordingObserver) CacheLookups(hits, misses int64, budget int) {
 	r.log = append(r.log, "cache")
+}
+func (r *recordingObserver) DiskCache(d DiskCacheStats) {
+	r.log = append(r.log, "disk")
 }
 func (r *recordingObserver) Generation(gen int, best float64) { r.log = append(r.log, "gen") }
 func (r *recordingObserver) Item(kind string, done, total int) {
@@ -65,6 +69,48 @@ func TestRunObserverReceivesCallbacks(t *testing.T) {
 	if h, m := nilTel.CacheStats(); h != 0 || m != 0 {
 		t.Error("nil telemetry CacheStats not zero")
 	}
+}
+
+func TestDiskCacheAndDroppedSurface(t *testing.T) {
+	tel := New("disk", nil)
+	obs := &recordingObserver{}
+	tel.SetRunObserver(obs)
+
+	tel.RecordCacheDropped(0) // no-op
+	tel.RecordCacheDropped(3)
+	tel.RecordDiskCache(DiskCacheStats{LoadedEntries: 10, LoadedSegments: 2, Hits: 7, Misses: 3, FlushedEntries: 3, BytesOnDisk: 480})
+	tel.RecordDiskCache(DiskCacheStats{Hits: 5, FlushedEntries: 1, BytesOnDisk: 16})
+
+	if got := tel.Registry().Counter("cache_dropped_total").Value(); got != 3 {
+		t.Errorf("cache_dropped_total = %d, want 3", got)
+	}
+	if got := tel.Registry().Gauge("disk_cache_hits").Value(); got != 12 {
+		t.Errorf("disk_cache_hits gauge = %v, want 12", got)
+	}
+	if got := tel.Registry().Gauge("disk_cache_bytes_on_disk").Value(); got != 496 {
+		t.Errorf("disk_cache_bytes_on_disk gauge = %v, want 496", got)
+	}
+	if !reflect.DeepEqual(obs.log, []string{"disk", "disk"}) {
+		t.Errorf("observer log = %v", obs.log)
+	}
+
+	r := tel.Report(Cost{})
+	if r.CacheDropped != 3 {
+		t.Errorf("report CacheDropped = %d", r.CacheDropped)
+	}
+	want := DiskCacheStats{LoadedEntries: 10, LoadedSegments: 2, Hits: 12, Misses: 3, FlushedEntries: 4, BytesOnDisk: 496}
+	if r.DiskCache != want {
+		t.Errorf("report DiskCache = %+v, want %+v", r.DiskCache, want)
+	}
+	text := r.Render()
+	if !strings.Contains(text, "disk cache: 10 entries loaded (2 segments), 12 hits / 3 misses (hit rate 80.0%), 4 flushed, 496 bytes on disk") {
+		t.Errorf("render missing disk cache line:\n%s", text)
+	}
+
+	// Nil telemetry stays inert.
+	var nilTel *Telemetry
+	nilTel.RecordCacheDropped(5)
+	nilTel.RecordDiskCache(DiskCacheStats{Hits: 1})
 }
 
 // Attaching an observer must not change trace bytes: the observer path

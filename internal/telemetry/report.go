@@ -30,6 +30,35 @@ func (c *Cost) Add(other Cost) {
 	c.SimTimeSec += other.SimTimeSec
 }
 
+// DiskCacheStats mirrors the persistent measurement store's counters
+// (internal/cachestore) without the dependency: entries recovered at open,
+// lookup effectiveness, entries flushed and the bytes the store keeps on
+// disk. All values are logical counters — deterministic for a given
+// workload and cache state.
+type DiskCacheStats struct {
+	LoadedEntries  int64 `json:"loaded_entries"`
+	LoadedSegments int64 `json:"loaded_segments"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	FlushedEntries int64 `json:"flushed_entries"`
+	BytesOnDisk    int64 `json:"bytes_on_disk"`
+}
+
+// add accumulates other into d.
+func (d *DiskCacheStats) add(other DiskCacheStats) {
+	d.LoadedEntries += other.LoadedEntries
+	d.LoadedSegments += other.LoadedSegments
+	d.Hits += other.Hits
+	d.Misses += other.Misses
+	d.FlushedEntries += other.FlushedEntries
+	d.BytesOnDisk += other.BytesOnDisk
+}
+
+// active reports whether the store saw any traffic at all.
+func (d DiskCacheStats) active() bool {
+	return d != DiskCacheStats{}
+}
+
 // Phase is one pipeline stage of the run (learn, propose-seeds, optimize,
 // table1 rows, lot screen, …).
 type Phase struct {
@@ -64,9 +93,17 @@ type Report struct {
 	// "unattributed" phase sums to it exactly.
 	Total Cost `json:"total"`
 
-	// Cache effectiveness of the measurement memo-cache.
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
+	// Cache effectiveness of the measurement memo-cache. CacheDropped
+	// counts inserts the bounded cache rejected at capacity
+	// (parallel.MemoCache.Dropped) — a non-zero value flags a limit set
+	// too tight for the workload.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheDropped int64 `json:"cache_dropped"`
+
+	// DiskCache aggregates the persistent measurement stores the run
+	// used (zero when no -cache-dir was given).
+	DiskCache DiskCacheStats `json:"disk_cache"`
 
 	// Searches counts trip-point searches actually performed;
 	// SearchMeasurements is what they cost. BaselineMeasurements estimates
@@ -140,8 +177,17 @@ func (r *Report) Render() string {
 		"TOTAL", r.Total.Measurements, r.Total.Vectors, r.Total.Profiles,
 		r.Total.SimTimeSec, r.NonDeterministic.WallSeconds)
 	if r.CacheHits+r.CacheMisses > 0 {
-		fmt.Fprintf(&b, "measurement cache: %d hits / %d misses (hit rate %.1f%%)\n",
+		fmt.Fprintf(&b, "measurement cache: %d hits / %d misses (hit rate %.1f%%)",
 			r.CacheHits, r.CacheMisses, 100*r.CacheHitRate())
+		if r.CacheDropped > 0 {
+			fmt.Fprintf(&b, ", %d dropped at capacity", r.CacheDropped)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if d := r.DiskCache; d.active() {
+		fmt.Fprintf(&b, "disk cache: %d entries loaded (%d segments), %d hits / %d misses (hit rate %.1f%%), %d flushed, %d bytes on disk\n",
+			d.LoadedEntries, d.LoadedSegments, d.Hits, d.Misses,
+			100*HitRate(d.Hits, d.Misses), d.FlushedEntries, d.BytesOnDisk)
 	}
 	if r.BaselineMeasurements > 0 {
 		fmt.Fprintf(&b, "searches: %d performed, %d measurements; no-SUTP/no-cache baseline %d → saved %d (%.1f%%)\n",

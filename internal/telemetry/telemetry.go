@@ -22,14 +22,16 @@ type Telemetry struct {
 	// atomically on every emission path.
 	observer observerPtr
 
-	mu        sync.Mutex
-	run       *Span
-	runName   string
-	phases    []Phase
-	pool      PoolStats
-	cacheHits int64
-	cacheMiss int64
-	started   time.Time
+	mu           sync.Mutex
+	run          *Span
+	runName      string
+	phases       []Phase
+	pool         PoolStats
+	cacheHits    int64
+	cacheMiss    int64
+	cacheDropped int64
+	disk         DiskCacheStats
+	started      time.Time
 }
 
 // New builds an enabled telemetry handle for one run. The tracer may be
@@ -167,6 +169,44 @@ func (t *Telemetry) RecordCacheLookups(hits, misses int64, fullRangeBudget int) 
 	}
 }
 
+// RecordCacheDropped accounts memo-cache inserts rejected at capacity
+// (the delta of parallel.MemoCache.Dropped across a serial resolve
+// section). Zero deltas are a no-op. Nil-safe.
+func (t *Telemetry) RecordCacheDropped(dropped int64) {
+	if t == nil || dropped <= 0 {
+		return
+	}
+	t.reg.Counter("cache_dropped_total").Add(dropped)
+	t.mu.Lock()
+	t.cacheDropped += dropped
+	t.mu.Unlock()
+}
+
+// RecordDiskCache merges one persistent measurement store's counters
+// (typically cachestore.Stats at the end of a lot screen) into the run
+// totals, mirrors them as registry gauges for the Prometheus bridge, and
+// feeds the live observer the accumulated totals. Call once per store from
+// a deterministic program point. Nil-safe.
+func (t *Telemetry) RecordDiskCache(d DiskCacheStats) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.disk.add(d)
+	total := t.disk
+	t.mu.Unlock()
+	reg := t.reg
+	reg.Gauge("disk_cache_loaded_entries").Set(float64(total.LoadedEntries))
+	reg.Gauge("disk_cache_loaded_segments").Set(float64(total.LoadedSegments))
+	reg.Gauge("disk_cache_hits").Set(float64(total.Hits))
+	reg.Gauge("disk_cache_misses").Set(float64(total.Misses))
+	reg.Gauge("disk_cache_flushed_entries").Set(float64(total.FlushedEntries))
+	reg.Gauge("disk_cache_bytes_on_disk").Set(float64(total.BytesOnDisk))
+	if o := t.runObserver(); o != nil {
+		o.DiskCache(total)
+	}
+}
+
 // ObservePool aggregates one worker-pool run's per-worker task counts —
 // scheduling-dependent, so this feeds only the report's non-deterministic
 // section plus "nd_"-prefixed counters.
@@ -202,7 +242,8 @@ func (t *Telemetry) Report(total Cost) *Report {
 	phases := append([]Phase(nil), t.phases...)
 	pool := t.pool
 	pool.WorkerTasks = append([]int64(nil), t.pool.WorkerTasks...)
-	hits, misses := t.cacheHits, t.cacheMiss
+	hits, misses, dropped := t.cacheHits, t.cacheMiss, t.cacheDropped
+	disk := t.disk
 	wall := time.Since(t.started).Seconds()
 	name := t.runName
 	t.mu.Unlock()
@@ -213,6 +254,8 @@ func (t *Telemetry) Report(total Cost) *Report {
 		Total:                total,
 		CacheHits:            hits,
 		CacheMisses:          misses,
+		CacheDropped:         dropped,
+		DiskCache:            disk,
 		Searches:             t.reg.Counter("search_total").Value(),
 		SearchMeasurements:   t.reg.Counter("search_measurements_total").Value(),
 		BaselineMeasurements: t.reg.Counter("search_baseline_measurements_total").Value(),
