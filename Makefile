@@ -1,4 +1,4 @@
-.PHONY: ci check test invariants fuzz-smoke bench bench-parallel bench-obs bench-kernels bench-lot tracestat
+.PHONY: ci check test invariants fuzz-smoke bench bench-parallel bench-obs bench-kernels bench-lot tracestat tracediff benchdiff baselines crash-demo
 
 # The full CI gate: vet + build + race-enabled tests + coverage floors +
 # fuzz smoke + the telemetry smoke run + the short benchmark passes that
@@ -65,3 +65,29 @@ bench-lot:
 tracestat:
 	go run ./cmd/characterize -learn-tests 20 -trace /tmp/repro-demo.jsonl > /dev/null
 	go run ./cmd/tracestat -chrome /tmp/repro-demo.chrome.json /tmp/repro-demo.jsonl
+
+# Record two instrumented runs at different parallelism and diff them:
+# identical workloads diff to zero (the determinism contract makes logical
+# cost exactly comparable), so any nonzero delta is a real workload change.
+tracediff:
+	go run ./cmd/characterize -learn-tests 20 -parallel 1 -trace /tmp/repro-old.jsonl > /dev/null
+	go run ./cmd/characterize -learn-tests 20 -parallel 8 -trace /tmp/repro-new.jsonl > /dev/null
+	go run ./cmd/tracestat diff -fail-over 20 /tmp/repro-old.jsonl /tmp/repro-new.jsonl
+
+# Gate the current BENCH_*.json files against the committed baselines/
+# (counter metrics only; wall-clock metrics need `-time`).
+benchdiff:
+	for b in BENCH_kernels.json BENCH_obs.json BENCH_parallel.json BENCH_lot.json; do \
+		go run ./cmd/tracestat benchdiff -fail-over 20 baselines/$$b $$b || exit 1; \
+	done
+
+# Accept the current benchmark numbers as the new regression baselines.
+# Do this deliberately, in the same commit as the perf change it blesses.
+baselines:
+	cp BENCH_kernels.json BENCH_obs.json BENCH_parallel.json BENCH_lot.json baselines/
+
+# Demonstrate the crash-bundle path end to end: inject a worker-pool panic
+# and show the bundle (meta, flags, stacks, flight tail, metrics, report).
+crash-demo:
+	-go run ./cmd/characterize -learn-tests 20 -crash-dir /tmp/repro-crash -inject-fault task-panic
+	ls /tmp/repro-crash/panic-*/

@@ -53,6 +53,7 @@ awk '
 		floor["repro/internal/search"] = 80
 		floor["repro/internal/shmoo"] = 80
 		floor["repro/internal/telemetry"] = 80
+		floor["repro/internal/telemetry/flight"] = 85
 		floor["repro/internal/testgen"] = 85
 		floor["repro/internal/trippoint"] = 80
 		floor["repro/internal/wcr"] = 90
@@ -170,6 +171,71 @@ grep -q '"traceEvents"' "$SMOKE_DIR/p1.chrome.json" || {
 	exit 1
 }
 echo "tracestat rollups and Chrome export OK"
+
+echo "== tracestat diff regression gate =="
+# Self-check both directions of the gate. Identical workloads (the -parallel
+# 1 and 4 smoke traces are byte-identical) must diff clean; a deliberately
+# fatter learning phase (26 tests vs 20 is +30% work, past the 20% gate with
+# the noise floor lowered to cover the small smoke run) must exit nonzero.
+go run ./cmd/tracestat diff -fail-over 20 "$SMOKE_DIR/p1.jsonl" "$SMOKE_DIR/p4.jsonl" || {
+	echo "FAIL: tracestat diff flagged a regression between identical traces" >&2
+	exit 1
+}
+go run ./cmd/characterize -learn-tests 26 -parallel 4 \
+	-trace "$SMOKE_DIR/p26.jsonl" > /dev/null
+if go run ./cmd/tracestat diff -fail-over 20 -min-measurements 10 \
+	"$SMOKE_DIR/p1.jsonl" "$SMOKE_DIR/p26.jsonl" > "$SMOKE_DIR/diff26.txt"; then
+	echo "FAIL: tracestat diff missed an injected +30% learning-phase regression" >&2
+	cat "$SMOKE_DIR/diff26.txt" >&2
+	exit 1
+fi
+grep -q "REGRESSED" "$SMOKE_DIR/diff26.txt" || {
+	echo "FAIL: tracestat diff exited nonzero but reported no REGRESSED row" >&2
+	cat "$SMOKE_DIR/diff26.txt" >&2
+	exit 1
+}
+echo "tracestat diff: identical traces clean, injected regression caught"
+
+echo "== crash bundle smoke =="
+# An injected worker-pool panic must kill the run (nonzero exit) AND leave a
+# complete post-mortem bundle under -crash-dir.
+CRASH_DIR="$SMOKE_DIR/crash"
+if "$SMOKE_DIR/characterize" -learn-tests 20 -crash-dir "$CRASH_DIR" \
+	-inject-fault task-panic > /dev/null 2> "$SMOKE_DIR/crash.stderr"; then
+	echo "FAIL: characterize -inject-fault task-panic exited zero" >&2
+	exit 1
+fi
+BUNDLE=$(find "$CRASH_DIR" -maxdepth 1 -type d -name 'panic-*' | head -1)
+if [ -z "$BUNDLE" ]; then
+	echo "FAIL: no panic-* crash bundle in $CRASH_DIR" >&2
+	cat "$SMOKE_DIR/crash.stderr" >&2
+	exit 1
+fi
+for f in meta.json flags.json stacks.txt flight.json metrics.json report.txt; do
+	[ -s "$BUNDLE/$f" ] || {
+		echo "FAIL: crash bundle missing or empty $f" >&2
+		ls -la "$BUNDLE" >&2
+		exit 1
+	}
+done
+grep -q '"reason": "panic"' "$BUNDLE/meta.json" || {
+	echo "FAIL: meta.json does not record the panic reason" >&2
+	cat "$BUNDLE/meta.json" >&2
+	exit 1
+}
+grep -q 'injected fault' "$BUNDLE/meta.json" || {
+	echo "FAIL: meta.json does not carry the panic cause" >&2
+	exit 1
+}
+grep -q 'goroutine' "$BUNDLE/stacks.txt" || {
+	echo "FAIL: stacks.txt has no goroutine dump" >&2
+	exit 1
+}
+grep -q 'non_deterministic' "$BUNDLE/flight.json" || {
+	echo "FAIL: flight.json is not quarantined under non_deterministic" >&2
+	exit 1
+}
+echo "crash bundle complete at $BUNDLE"
 
 echo "== benchmarks =="
 BENCH_OUT=$(go test -run '^$' \
@@ -319,3 +385,17 @@ printf '%s\n' "$LOT_OUT" | awk '
 ' > BENCH_lot.json
 echo "wrote BENCH_lot.json:"
 cat BENCH_lot.json
+
+echo "== benchdiff gates against committed baselines =="
+# The fresh BENCH_*.json files must not regress the counter-style metrics
+# (allocs, hit rates, measurements saved) recorded in baselines/ by more
+# than 20%. Wall-clock metrics are skipped by default — they track the CI
+# machine, not the code. Refresh a baseline deliberately (cp BENCH_x.json
+# baselines/) when a perf change is intentional.
+for bench in BENCH_kernels.json BENCH_obs.json BENCH_parallel.json BENCH_lot.json; do
+	go run ./cmd/tracestat benchdiff -fail-over 20 "baselines/$bench" "$bench" || {
+		echo "FAIL: $bench regressed against baselines/$bench" >&2
+		exit 1
+	}
+done
+echo "all benchmark baselines hold"

@@ -57,130 +57,130 @@ func main() {
 		guardband = flag.Float64("guardband", 0.05, "spec extraction guardband fraction")
 	)
 	flag.Parse()
-	seed, sites := &common.Seed, &common.Parallel
-	if *dies < 1 {
-		log.Fatalf("-dies must be at least 1, got %d", *dies)
-	}
-	if *wafers < 0 {
-		log.Fatalf("-wafers must not be negative, got %d", *wafers)
-	}
-
-	stopProfiles, profErr := common.StartProfiles()
-	if profErr != nil {
-		log.Fatal(profErr)
-	}
-	defer func() {
-		if err := stopProfiles(); err != nil {
-			log.Fatal(err)
+	common.Main(func() (err error) {
+		seed, sites := &common.Seed, &common.Parallel
+		if *dies < 1 {
+			return fmt.Errorf("-dies must be at least 1, got %d", *dies)
 		}
-	}()
+		if *wafers < 0 {
+			return fmt.Errorf("-wafers must not be negative, got %d", *wafers)
+		}
 
-	tel, telErr := common.StartTelemetry("lotchar")
-	if telErr != nil {
-		log.Fatal(telErr)
-	}
-
-	geom := dut.DefaultGeometry()
-	cond := testgen.NominalConditions()
-
-	// Assemble the screened test set: the database tests (or a built-in
-	// coordinated worst-case pattern) plus a March C- baseline.
-	var tests []testgen.Test
-	if *dbPath != "" {
-		db, err := core.LoadDatabaseFile(*dbPath)
+		stopProfiles, err := common.StartProfiles()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		for i, e := range db.Entries {
-			if i >= 5 {
-				break // the five worst are plenty for a lot screen
+		defer func() {
+			if perr := stopProfiles(); perr != nil && err == nil {
+				err = perr
 			}
-			tests = append(tests, e.Test)
-		}
-		fmt.Printf("loaded %d worst-case tests from %s\n", len(tests), *dbPath)
-	} else {
-		words := geom.Words()
-		seq := make(testgen.Sequence, 0, 800)
-		for i := 0; i < 200; i++ {
-			base := uint32(0)
-			if i%2 == 1 {
-				base = words - 2
-			}
-			seq = append(seq,
-				testgen.Vector{Op: testgen.OpWrite, Addr: base, Data: 0},
-				testgen.Vector{Op: testgen.OpWrite, Addr: base + 1, Data: 0xFFFFFFFF},
-			)
-		}
-		tests = append(tests, testgen.Test{Name: "WORST-BUILTIN", Seq: seq, Cond: cond})
-		fmt.Println("no database given; using the built-in coordinated worst-case pattern")
-	}
-	march, err := testgen.MarchTest(testgen.MarchCMinus(), 0, 100, 0x55555555, cond)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tests = append(tests, march)
+		}()
 
-	// --- Lot screen -------------------------------------------------------
-	// Flat lots keep the legacy i.i.d. sample; -wafers switches to the
-	// spatial wafer model. Either way the dies stream through the bounded
-	// pipeline — per-die results are not retained, so lot size no longer
-	// bounds memory.
-	var src dut.DieSource
-	if *wafers > 0 {
-		wl, err := dut.NewWaferLot(*seed, *wafers, *dies)
+		tel, err := common.StartTelemetry("lotchar")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		src = wl
-	} else {
-		src = dut.LotSlice(dut.NewDieLot(*seed, *dies))
-	}
-	store, err := common.OpenCacheStore(core.LotCacheScope)
-	if err != nil {
-		log.Fatal(err)
-	}
-	screenStart := time.Now()
-	rep, err := core.ScreenLotStream(ate.TDQ, tests, src, geom, *seed, core.LotOptions{
-		Workers:   *sites,
-		Cache:     store,
-		Telemetry: tel,
+
+		geom := dut.DefaultGeometry()
+		cond := testgen.NominalConditions()
+
+		// Assemble the screened test set: the database tests (or a built-in
+		// coordinated worst-case pattern) plus a March C- baseline.
+		var tests []testgen.Test
+		if *dbPath != "" {
+			db, err := core.LoadDatabaseFile(*dbPath)
+			if err != nil {
+				return err
+			}
+			for i, e := range db.Entries {
+				if i >= 5 {
+					break // the five worst are plenty for a lot screen
+				}
+				tests = append(tests, e.Test)
+			}
+			fmt.Printf("loaded %d worst-case tests from %s\n", len(tests), *dbPath)
+		} else {
+			words := geom.Words()
+			seq := make(testgen.Sequence, 0, 800)
+			for i := 0; i < 200; i++ {
+				base := uint32(0)
+				if i%2 == 1 {
+					base = words - 2
+				}
+				seq = append(seq,
+					testgen.Vector{Op: testgen.OpWrite, Addr: base, Data: 0},
+					testgen.Vector{Op: testgen.OpWrite, Addr: base + 1, Data: 0xFFFFFFFF},
+				)
+			}
+			tests = append(tests, testgen.Test{Name: "WORST-BUILTIN", Seq: seq, Cond: cond})
+			fmt.Println("no database given; using the built-in coordinated worst-case pattern")
+		}
+		march, err := testgen.MarchTest(testgen.MarchCMinus(), 0, 100, 0x55555555, cond)
+		if err != nil {
+			return err
+		}
+		tests = append(tests, march)
+
+		// --- Lot screen ---------------------------------------------------
+		// Flat lots keep the legacy i.i.d. sample; -wafers switches to the
+		// spatial wafer model. Either way the dies stream through the bounded
+		// pipeline — per-die results are not retained, so lot size no longer
+		// bounds memory.
+		var src dut.DieSource
+		if *wafers > 0 {
+			wl, err := dut.NewWaferLot(*seed, *wafers, *dies)
+			if err != nil {
+				return err
+			}
+			src = wl
+		} else {
+			src = dut.LotSlice(dut.NewDieLot(*seed, *dies))
+		}
+		store, err := common.OpenCacheStore(core.LotCacheScope)
+		if err != nil {
+			return err
+		}
+		screenStart := time.Now()
+		rep, err := core.ScreenLotStream(ate.TDQ, tests, src, geom, *seed, core.LotOptions{
+			Workers:   *sites,
+			Cache:     store,
+			Telemetry: tel,
+		})
+		if err != nil {
+			return err
+		}
+		screenWall := time.Since(screenStart).Seconds()
+		fmt.Println()
+		fmt.Print(rep.Format())
+		printLotCost(rep, store, screenWall)
+
+		// --- Spec extraction on the worst die -----------------------------
+		var worstDie *dut.Die
+		for i := 0; i < src.Len(); i++ {
+			if d := src.Die(i); d.ID == rep.WorstDie.DieID {
+				worstDie = d
+				break
+			}
+		}
+		dev, err := dut.NewDevice(geom, worstDie)
+		if err != nil {
+			return err
+		}
+		tester := ate.New(dev, *seed+999)
+		cfg := charspec.DefaultConfig()
+		cfg.Guardband = *guardband
+		ph := tel.StartPhase("spec-extract")
+		spec, err := charspec.Extract(tester, ate.TDQ, tests, cfg)
+		ph.End(cli.Cost(tester.Stats()))
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Printf("environmental sweep on the worst die (#%d, %s):\n", worstDie.ID, worstDie.Corner)
+		fmt.Print(spec.Format())
+
+		total := rep.Stats
+		total.Add(tester.Stats())
+		return common.FinishTelemetry(os.Stdout, tel, total)
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	screenWall := time.Since(screenStart).Seconds()
-	fmt.Println()
-	fmt.Print(rep.Format())
-	printLotCost(rep, store, screenWall)
-
-	// --- Spec extraction on the worst die ---------------------------------
-	var worstDie *dut.Die
-	for i := 0; i < src.Len(); i++ {
-		if d := src.Die(i); d.ID == rep.WorstDie.DieID {
-			worstDie = d
-			break
-		}
-	}
-	dev, err := dut.NewDevice(geom, worstDie)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tester := ate.New(dev, *seed+999)
-	cfg := charspec.DefaultConfig()
-	cfg.Guardband = *guardband
-	ph := tel.StartPhase("spec-extract")
-	spec, err := charspec.Extract(tester, ate.TDQ, tests, cfg)
-	ph.End(cli.Cost(tester.Stats()))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println()
-	fmt.Printf("environmental sweep on the worst die (#%d, %s):\n", worstDie.ID, worstDie.Corner)
-	fmt.Print(spec.Format())
-
-	total := rep.Stats
-	total.Add(tester.Stats())
-	if err := common.FinishTelemetry(os.Stdout, tel, total); err != nil {
-		log.Fatal(err)
-	}
 }

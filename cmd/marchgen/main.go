@@ -41,73 +41,72 @@ func main() {
 		out      = flag.String("o", "", "output pattern file (default stdout)")
 	)
 	flag.Parse()
-
-	stopProfiles, err := common.StartProfiles()
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer func() {
-		if err := stopProfiles(); err != nil {
-			log.Fatal(err)
-		}
-	}()
-
-	if *list {
-		names := testgen.MarchLibraryNames()
-		sort.Strings(names)
-		fmt.Printf("%-10s %-5s %s\n", "name", "kN", "notation")
-		for _, n := range names {
-			alg, err := testgen.MarchFromLibrary(n)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-10s %2dN   %s\n", n, alg.Complexity(), testgen.FormatMarch(alg))
-		}
-		return
-	}
-
-	tel, err := common.StartTelemetry("marchgen")
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	var alg testgen.MarchAlgorithm
-	switch {
-	case *notation != "":
-		alg, err = testgen.ParseMarch(*name, *notation)
-	case *algName != "":
-		alg, err = testgen.MarchFromLibrary(*algName)
-	default:
-		log.Fatal("need -list, -alg or -notation")
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	cond := testgen.NominalConditions()
-	cond.VddV = *vdd
-	test, err := testgen.MarchTest(alg, uint32(*base), uint32(*words), uint32(*bg), cond)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	common.Main(func() (err error) {
+		stopProfiles, err := common.StartProfiles()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := testgen.WriteTests(w, []testgen.Test{test}); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "marchgen: %s expanded to %d vectors (%dN over %d words)\n",
-		alg.Name, len(test.Seq), alg.Complexity(), *words)
+		defer func() {
+			if perr := stopProfiles(); perr != nil && err == nil {
+				err = perr
+			}
+		}()
 
-	tel.StartPhase("march-expand").End(telemetry.Cost{Vectors: int64(len(test.Seq))})
-	if err := common.FinishTelemetry(os.Stdout, tel, ate.Stats{VectorsApplied: int64(len(test.Seq))}); err != nil {
-		log.Fatal(err)
-	}
+		if *list {
+			names := testgen.MarchLibraryNames()
+			sort.Strings(names)
+			fmt.Printf("%-10s %-5s %s\n", "name", "kN", "notation")
+			for _, n := range names {
+				alg, err := testgen.MarchFromLibrary(n)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-10s %2dN   %s\n", n, alg.Complexity(), testgen.FormatMarch(alg))
+			}
+			return nil
+		}
+
+		tel, err := common.StartTelemetry("marchgen")
+		if err != nil {
+			return err
+		}
+
+		var alg testgen.MarchAlgorithm
+		switch {
+		case *notation != "":
+			alg, err = testgen.ParseMarch(*name, *notation)
+		case *algName != "":
+			alg, err = testgen.MarchFromLibrary(*algName)
+		default:
+			return fmt.Errorf("need -list, -alg or -notation")
+		}
+		if err != nil {
+			return err
+		}
+
+		cond := testgen.NominalConditions()
+		cond.VddV = *vdd
+		test, err := testgen.MarchTest(alg, uint32(*base), uint32(*words), uint32(*bg), cond)
+		if err != nil {
+			return err
+		}
+
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := testgen.WriteTests(w, []testgen.Test{test}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "marchgen: %s expanded to %d vectors (%dN over %d words)\n",
+			alg.Name, len(test.Seq), alg.Complexity(), *words)
+
+		tel.StartPhase("march-expand").End(telemetry.Cost{Vectors: int64(len(test.Seq))})
+		return common.FinishTelemetry(os.Stdout, tel, ate.Stats{VectorsApplied: int64(len(test.Seq))})
+	})
 }

@@ -38,74 +38,74 @@ func main() {
 		xMax   = flag.Float64("tdq-max", 36, "X axis upper bound (ns)")
 	)
 	flag.Parse()
-	seed, par := &common.Seed, &common.Parallel
+	common.Main(func() (err error) {
+		seed, par := &common.Seed, &common.Parallel
 
-	stopProfiles, err := common.StartProfiles()
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer func() {
-		if err := stopProfiles(); err != nil {
-			log.Fatal(err)
-		}
-	}()
-
-	dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
-	if err != nil {
-		log.Fatal(err)
-	}
-	tester := ate.New(dev, *seed)
-	tel, err := common.StartTelemetry("shmoo")
-	if err != nil {
-		log.Fatal(err)
-	}
-	cond := testgen.NominalConditions()
-	gen := testgen.NewRandomGenerator(*seed+1, dev.Geometry().Words(), testgen.DefaultConditionLimits())
-	gen.FixedConditions = &cond
-
-	x := shmoo.DefaultTDQAxis()
-	x.Min, x.Max = *xMin, *xMax
-	y := shmoo.DefaultVddAxis()
-	y.Min, y.Max = *vddMin, *vddMax
-
-	plot, err := shmoo.NewPlot(x, y)
-	if err != nil {
-		log.Fatal(err)
-	}
-	batch := gen.Batch(*tests)
-	if *dbPath != "" {
-		db, err := core.LoadDatabaseFile(*dbPath)
+		stopProfiles, err := common.StartProfiles()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		for _, e := range db.Entries {
-			batch = append(batch, e.Test)
-		}
-		fmt.Printf("overlaying %d database tests on top of %d random tests\n", db.Len(), *tests)
-	}
-	ph := tel.StartPhase("shmoo-overlay")
-	sweep := ph.Span()
-	plot.OnTest = func(index int, cost ate.Stats) {
-		sweep.Event("test", telemetry.I("i", index),
-			telemetry.I("measurements", cost.Measurements),
-			telemetry.I("vectors", cost.VectorsApplied))
-		tel.RecordItem("shmoo-test", index+1, len(batch))
-	}
-	if err := plot.AddTestsParallel(tester, batch, *seed, *par); err != nil {
-		log.Fatal(err)
-	}
-	plot.OnTest = nil
-	ph.End(cli.Cost(tester.Stats()))
+		defer func() {
+			if perr := stopProfiles(); perr != nil && err == nil {
+				err = perr
+			}
+		}()
 
-	fmt.Print(plot.Render())
-	fmt.Printf("worst-case trip point variation: %.2f ns\n", plot.WorstCaseVariation())
-	allPass, anyPass, ok := plot.BoundarySpread(plot.Y.Steps / 2)
-	if ok {
-		fmt.Printf("at mid supply: all tests pass up to %.2f ns, some up to %.2f ns\n", allPass, anyPass)
-	}
-	s := tester.Stats()
-	fmt.Printf("tester: %d measurements, %.1f s simulated test time\n", s.Measurements, s.TestTimeSec)
-	if err := common.FinishTelemetry(os.Stdout, tel, s); err != nil {
-		log.Fatal(err)
-	}
+		dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
+		if err != nil {
+			return err
+		}
+		tester := ate.New(dev, *seed)
+		tel, err := common.StartTelemetry("shmoo")
+		if err != nil {
+			return err
+		}
+		cond := testgen.NominalConditions()
+		gen := testgen.NewRandomGenerator(*seed+1, dev.Geometry().Words(), testgen.DefaultConditionLimits())
+		gen.FixedConditions = &cond
+
+		x := shmoo.DefaultTDQAxis()
+		x.Min, x.Max = *xMin, *xMax
+		y := shmoo.DefaultVddAxis()
+		y.Min, y.Max = *vddMin, *vddMax
+
+		plot, err := shmoo.NewPlot(x, y)
+		if err != nil {
+			return err
+		}
+		batch := gen.Batch(*tests)
+		if *dbPath != "" {
+			db, err := core.LoadDatabaseFile(*dbPath)
+			if err != nil {
+				return err
+			}
+			for _, e := range db.Entries {
+				batch = append(batch, e.Test)
+			}
+			fmt.Printf("overlaying %d database tests on top of %d random tests\n", db.Len(), *tests)
+		}
+		ph := tel.StartPhase("shmoo-overlay")
+		sweep := ph.Span()
+		plot.OnTest = func(index int, cost ate.Stats) {
+			sweep.Event("test", telemetry.I("i", index),
+				telemetry.I("measurements", cost.Measurements),
+				telemetry.I("vectors", cost.VectorsApplied))
+			tel.RecordItem("shmoo-test", index+1, len(batch))
+		}
+		if err := plot.AddTestsParallel(tester, batch, *seed, *par); err != nil {
+			return err
+		}
+		plot.OnTest = nil
+		ph.End(cli.Cost(tester.Stats()))
+
+		fmt.Print(plot.Render())
+		fmt.Printf("worst-case trip point variation: %.2f ns\n", plot.WorstCaseVariation())
+		allPass, anyPass, ok := plot.BoundarySpread(plot.Y.Steps / 2)
+		if ok {
+			fmt.Printf("at mid supply: all tests pass up to %.2f ns, some up to %.2f ns\n", allPass, anyPass)
+		}
+		s := tester.Stats()
+		fmt.Printf("tester: %d measurements, %.1f s simulated test time\n", s.Measurements, s.TestTimeSec)
+		return common.FinishTelemetry(os.Stdout, tel, s)
+	})
 }

@@ -1,16 +1,24 @@
 // tracestat analyzes the JSONL trace files the pipeline binaries emit via
-// -trace: per-phase cost rollups, a critical-path summary, and optional
-// Chrome trace-event export for chrome://tracing / Perfetto.
+// -trace: per-phase cost rollups, a critical-path summary, optional Chrome
+// trace-event export for chrome://tracing / Perfetto, and run-over-run
+// regression comparison for both traces and the repo's BENCH_*.json files.
 //
 // Usage:
 //
 //	tracestat run.jsonl
 //	tracestat -top 5 run.jsonl
 //	tracestat -chrome run.chrome.json run.jsonl
+//	tracestat diff [-fail-over 20] [-min-measurements 50] [-fail-on-new] old.jsonl new.jsonl
+//	tracestat benchdiff [-fail-over 20] [-time] baseline.json current.json
 //
 // Traces carry no wall-clock time (the determinism contract), so the
-// rollups rank by deterministic simulated tester seconds and the Chrome
-// export uses sequence numbers as microsecond ticks.
+// rollups rank by deterministic simulated tester seconds, the Chrome export
+// uses sequence numbers as microsecond ticks, and `diff` compares logical
+// costs exactly: two runs of the same workload diff to zero, and any
+// growth past -fail-over percent exits nonzero (a CI regression gate).
+// `benchdiff` gates counter-style benchmark metrics (allocs, measurements,
+// hit rates) against a committed baseline; wall-clock metrics are skipped
+// unless -time opts them in.
 package main
 
 import (
@@ -22,10 +30,23 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: "diff" and "benchdiff" own their flag sets; the
+	// bare invocation keeps the original single-trace analysis interface.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "diff":
+			os.Exit(runDiff(os.Args[2:]))
+		case "benchdiff":
+			os.Exit(runBenchDiff(os.Args[2:]))
+		}
+	}
+
 	top := flag.Int("top", 20, "rollup rows to print (0 = all)")
 	chrome := flag.String("chrome", "", "write Chrome trace-event JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracestat [flags] trace.jsonl\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "       tracestat diff [flags] old.jsonl new.jsonl\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "       tracestat benchdiff [flags] baseline.json current.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,13 +62,7 @@ func main() {
 }
 
 func run(path string, top int, chromePath string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
-	tr, err := obs.ParseTrace(f)
+	tr, err := parseTraceFile(path)
 	if err != nil {
 		return err
 	}
@@ -68,4 +83,107 @@ func run(path string, top int, chromePath string) error {
 		fmt.Printf("\nchrome trace: %s (load at chrome://tracing or ui.perfetto.dev)\n", chromePath)
 	}
 	return nil
+}
+
+// runDiff implements `tracestat diff old.jsonl new.jsonl`. Exit codes: 0
+// clean, 1 regression found (or I/O error), 2 usage.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("tracestat diff", flag.ExitOnError)
+	failOver := fs.Float64("fail-over", 0, "exit nonzero when any label's measurements or sim time grew by at least this percent (0 = report only)")
+	minMeas := fs.Int64("min-measurements", 50, "noise floor: labels below this measurement count on both sides never regress")
+	failOnNew := fs.Bool("fail-on-new", false, "also fail on labels present only in the new trace")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tracestat diff [flags] old.jsonl new.jsonl\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	oldTr, err := parseTraceFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat diff:", err)
+		return 1
+	}
+	newTr, err := parseTraceFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat diff:", err)
+		return 1
+	}
+
+	d := obs.DiffTraces(oldTr, newTr, obs.DiffOptions{
+		FailOverPct:     *failOver,
+		MinMeasurements: *minMeas,
+		FailOnNew:       *failOnNew,
+	})
+	if err := d.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat diff:", err)
+		return 1
+	}
+	if *failOver > 0 && len(d.Regressions()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runBenchDiff implements `tracestat benchdiff baseline.json current.json`.
+// Exit codes: 0 clean, 1 regression or missing benchmark (or I/O error),
+// 2 usage.
+func runBenchDiff(args []string) int {
+	fs := flag.NewFlagSet("tracestat benchdiff", flag.ExitOnError)
+	failOver := fs.Float64("fail-over", 20, "exit nonzero when any gated metric worsened by at least this percent (0 = report only)")
+	includeTime := fs.Bool("time", false, "also gate wall-clock metrics (ns_per_op, dies_per_sec); off by default because they track the machine, not the code")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tracestat benchdiff [flags] baseline.json current.json\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	baseline, err := parseBenchFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat benchdiff:", err)
+		return 1
+	}
+	current, err := parseBenchFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat benchdiff:", err)
+		return 1
+	}
+
+	d := obs.DiffBench(baseline, current, obs.BenchDiffOptions{
+		FailOverPct:      *failOver,
+		IncludeTimeBased: *includeTime,
+	})
+	if err := d.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat benchdiff:", err)
+		return 1
+	}
+	if *failOver > 0 && d.Failed() {
+		return 1
+	}
+	return 0
+}
+
+func parseTraceFile(path string) (*obs.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ParseTrace(f)
+}
+
+func parseBenchFile(path string) ([]obs.BenchEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ParseBenchJSON(f)
 }

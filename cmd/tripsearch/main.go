@@ -37,155 +37,155 @@ func main() {
 		directed  = flag.Bool("directed", false, "also measure the directed baseline suite (March + stress patterns)")
 	)
 	flag.Parse()
-	seed, par := &common.Seed, &common.Parallel
+	common.Main(func() (err error) {
+		seed, par := &common.Seed, &common.Parallel
 
-	stopProfiles, err := common.StartProfiles()
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer func() {
-		if err := stopProfiles(); err != nil {
-			log.Fatal(err)
+		stopProfiles, err := common.StartProfiles()
+		if err != nil {
+			return err
 		}
-	}()
+		defer func() {
+			if perr := stopProfiles(); perr != nil && err == nil {
+				err = perr
+			}
+		}()
 
-	var param ate.Parameter
-	switch *paramName {
-	case "tdq":
-		param = ate.TDQ
-	case "fmax":
-		param = ate.Fmax
-	case "vddmin":
-		param = ate.VddMin
-	default:
-		log.Fatalf("unknown parameter %q", *paramName)
-	}
+		var param ate.Parameter
+		switch *paramName {
+		case "tdq":
+			param = ate.TDQ
+		case "fmax":
+			param = ate.Fmax
+		case "vddmin":
+			param = ate.VddMin
+		default:
+			return fmt.Errorf("unknown parameter %q", *paramName)
+		}
 
-	dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
-	if err != nil {
-		log.Fatal(err)
-	}
-	tester := ate.New(dev, *seed)
-	tel, err := common.StartTelemetry("tripsearch")
-	if err != nil {
-		log.Fatal(err)
-	}
-	cond := testgen.NominalConditions()
-	gen := testgen.NewRandomGenerator(*seed+1, dev.Geometry().Words(), testgen.DefaultConditionLimits())
-	gen.FixedConditions = &cond
-	batch := gen.Batch(*tests)
+		dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
+		if err != nil {
+			return err
+		}
+		tester := ate.New(dev, *seed)
+		tel, err := common.StartTelemetry("tripsearch")
+		if err != nil {
+			return err
+		}
+		cond := testgen.NominalConditions()
+		gen := testgen.NewRandomGenerator(*seed+1, dev.Geometry().Words(), testgen.DefaultConditionLimits())
+		gen.FixedConditions = &cond
+		batch := gen.Batch(*tests)
 
-	algos := []struct {
-		name string
-		mk   func() search.Searcher
-	}{
-		{"linear", func() search.Searcher { return search.Linear{Step: param.Resolution() * 4} }},
-		{"binary", func() search.Searcher { return search.Binary{} }},
-		{"successive-approx", func() search.Searcher { return search.SuccessiveApproximation{} }},
-		{"SUTP (paper)", func() search.Searcher { return &search.SUTP{SF: 4 * param.Resolution()} }},
-		{"SUTP refined", func() search.Searcher { return &search.SUTP{SF: 4 * param.Resolution(), Refine: true} }},
-	}
+		algos := []struct {
+			name string
+			mk   func() search.Searcher
+		}{
+			{"linear", func() search.Searcher { return search.Linear{Step: param.Resolution() * 4} }},
+			{"binary", func() search.Searcher { return search.Binary{} }},
+			{"successive-approx", func() search.Searcher { return search.SuccessiveApproximation{} }},
+			{"SUTP (paper)", func() search.Searcher { return &search.SUTP{SF: 4 * param.Resolution()} }},
+			{"SUTP refined", func() search.Searcher { return &search.SUTP{SF: 4 * param.Resolution(), Refine: true} }},
+		}
 
-	opt := param.SearchOptions()
-	fmt.Printf("Trip-point search comparison: %s over [%g, %g] %s, resolution %g, %d tests\n\n",
-		param, opt.Lo, opt.Hi, param.Unit(), opt.Resolution, *tests)
-	fmt.Printf("%-18s %12s %15s %12s %12s\n", "algorithm", "total meas", "meas/test", "mean trip", "spread")
+		opt := param.SearchOptions()
+		fmt.Printf("Trip-point search comparison: %s over [%g, %g] %s, resolution %g, %d tests\n\n",
+			param, opt.Lo, opt.Hi, param.Unit(), opt.Resolution, *tests)
+		fmt.Printf("%-18s %12s %15s %12s %12s\n", "algorithm", "total meas", "meas/test", "mean trip", "spread")
 
-	// Each algorithm measures the same batch on its own forked insertion —
-	// the rows are independent, so they fan across workers and print in
-	// declaration order regardless of scheduling.
-	ph := tel.StartPhase("search-compare")
-	rows := make([]*trippoint.DSV, len(algos))
-	err = parallel.Run(len(algos), *par, func(int) (*ate.ATE, error) {
-		return tester.Fork(*seed)
-	}, func(wk *ate.ATE, i int) error {
-		wk.Reseed(*seed + int64(i))
-		runner := trippoint.NewRunner(wk, param)
-		runner.Searcher = algos[i].mk()
+		// Each algorithm measures the same batch on its own forked insertion —
+		// the rows are independent, so they fan across workers and print in
+		// declaration order regardless of scheduling.
+		ph := tel.StartPhase("search-compare")
+		rows := make([]*trippoint.DSV, len(algos))
+		err = parallel.Run(len(algos), *par, func(int) (*ate.ATE, error) {
+			return tester.Fork(*seed)
+		}, func(wk *ate.ATE, i int) error {
+			wk.Reseed(*seed + int64(i))
+			runner := trippoint.NewRunner(wk, param)
+			runner.Searcher = algos[i].mk()
+			dsv, err := runner.MeasureAll(batch)
+			if err != nil {
+				return err
+			}
+			rows[i] = dsv
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Replay each row in declaration order so searches land in the trace at
+		// a deterministic point regardless of how the workers were scheduled.
+		fullBudget := opt.FullRangeBudget()
+		var compareCost telemetry.Cost
+		for i, dsv := range rows {
+			span := ph.Span().Child("algorithm", telemetry.S("name", algos[i].name))
+			for _, m := range dsv.Values {
+				tel.RecordSearch(m.Measurements, fullBudget, m.Converged)
+			}
+			tel.RecordItem("algorithm", i+1, len(algos))
+			span.End(telemetry.I("measurements", int64(dsv.TotalMeasurements())))
+			compareCost.Measurements += int64(dsv.TotalMeasurements())
+			s := dsv.Stats()
+			fmt.Printf("%-18s %12d %15.1f %9.3f %s %9.3f %s\n",
+				algos[i].name, dsv.TotalMeasurements(),
+				float64(dsv.TotalMeasurements())/float64(*tests),
+				s.Mean, param.Unit(), s.Range, param.Unit())
+		}
+		ph.End(compareCost)
+
+		fmt.Printf("\nSUTP cost structure (fig. 3): first search establishes RTP over the full\n")
+		fmt.Printf("characterization range CR; every later search steps outward from RTP in\n")
+		fmt.Printf("SF(IT) = SF·IT increments, so cost per test collapses once RTP exists.\n")
+		ph = tel.StartPhase("sutp-cost")
+		statsBefore := tester.Stats()
+		runner := trippoint.NewRunner(tester, param)
 		dsv, err := runner.MeasureAll(batch)
 		if err != nil {
 			return err
 		}
-		rows[i] = dsv
-		return nil
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Replay each row in declaration order so searches land in the trace at
-	// a deterministic point regardless of how the workers were scheduled.
-	fullBudget := opt.FullRangeBudget()
-	var compareCost telemetry.Cost
-	for i, dsv := range rows {
-		span := ph.Span().Child("algorithm", telemetry.S("name", algos[i].name))
+		runnerBudget := runner.Options.FullRangeBudget()
 		for _, m := range dsv.Values {
-			tel.RecordSearch(m.Measurements, fullBudget, m.Converged)
+			tel.RecordSearch(m.Measurements, runnerBudget, m.Converged)
 		}
-		tel.RecordItem("algorithm", i+1, len(algos))
-		span.End(telemetry.I("measurements", int64(dsv.TotalMeasurements())))
-		compareCost.Measurements += int64(dsv.TotalMeasurements())
+		ph.End(cli.Delta(statsBefore, tester.Stats()))
 		s := dsv.Stats()
-		fmt.Printf("%-18s %12d %15.1f %9.3f %s %9.3f %s\n",
-			algos[i].name, dsv.TotalMeasurements(),
-			float64(dsv.TotalMeasurements())/float64(*tests),
-			s.Mean, param.Unit(), s.Range, param.Unit())
-	}
-	ph.End(compareCost)
+		fmt.Printf("first search: %d measurements, follow-up mean: %.1f measurements\n",
+			s.FirstSearchCost, s.FollowupSearchCost)
 
-	fmt.Printf("\nSUTP cost structure (fig. 3): first search establishes RTP over the full\n")
-	fmt.Printf("characterization range CR; every later search steps outward from RTP in\n")
-	fmt.Printf("SF(IT) = SF·IT increments, so cost per test collapses once RTP exists.\n")
-	ph = tel.StartPhase("sutp-cost")
-	statsBefore := tester.Stats()
-	runner := trippoint.NewRunner(tester, param)
-	dsv, err := runner.MeasureAll(batch)
-	if err != nil {
-		log.Fatal(err)
-	}
-	runnerBudget := runner.Options.FullRangeBudget()
-	for _, m := range dsv.Values {
-		tel.RecordSearch(m.Measurements, runnerBudget, m.Converged)
-	}
-	ph.End(cli.Delta(statsBefore, tester.Stats()))
-	s := dsv.Stats()
-	fmt.Printf("first search: %d measurements, follow-up mean: %.1f measurements\n",
-		s.FirstSearchCost, s.FollowupSearchCost)
-
-	if *directed {
-		fmt.Printf("\nDirected baseline landscape (%s per pattern):\n", param)
-		geom := dev.Geometry()
-		suite, err := testgen.DirectedSuite(geom.Words(), uint32(geom.Cols), cond)
-		if err != nil {
-			log.Fatal(err)
-		}
-		march, err := testgen.MarchTest(testgen.MarchCMinus(), 0, 100, 0x55555555, cond)
-		if err != nil {
-			log.Fatal(err)
-		}
-		suite = append([]testgen.Test{march}, suite...)
-		dr := trippoint.NewRunner(tester, param)
-		dr.Searcher = &search.SUTP{Refine: true}
-		for _, t := range suite {
-			m, err := dr.Measure(t)
+		if *directed {
+			fmt.Printf("\nDirected baseline landscape (%s per pattern):\n", param)
+			geom := dev.Geometry()
+			suite, err := testgen.DirectedSuite(geom.Words(), uint32(geom.Cols), cond)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("  %-18s %8.3f %s (%d measurements)\n", t.Name, m.TripPoint, param.Unit(), m.Measurements)
+			march, err := testgen.MarchTest(testgen.MarchCMinus(), 0, 100, 0x55555555, cond)
+			if err != nil {
+				return err
+			}
+			suite = append([]testgen.Test{march}, suite...)
+			dr := trippoint.NewRunner(tester, param)
+			dr.Searcher = &search.SUTP{Refine: true}
+			for _, t := range suite {
+				m, err := dr.Measure(t)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  %-18s %8.3f %s (%d measurements)\n", t.Name, m.TripPoint, param.Unit(), m.Measurements)
+			}
+			ds := dr.DSV().Stats()
+			worstVal, worstName := ds.Min, ds.MinTest
+			if _, isMin := param.SpecValue(); !isMin {
+				worstVal, worstName = ds.Max, ds.MaxTest // max-spec: larger is worse
+			}
+			fmt.Printf("directed worst: %.3f %s by %s — compare the NN+GA result from cmd/characterize\n",
+				worstVal, param.Unit(), worstName)
 		}
-		ds := dr.DSV().Stats()
-		worstVal, worstName := ds.Min, ds.MinTest
-		if _, isMin := param.SpecValue(); !isMin {
-			worstVal, worstName = ds.Max, ds.MaxTest // max-spec: larger is worse
-		}
-		fmt.Printf("directed worst: %.3f %s by %s — compare the NN+GA result from cmd/characterize\n",
-			worstVal, param.Unit(), worstName)
-	}
 
-	// The comparison rows ran on forked insertions; fold their cost into the
-	// serial tester's own counters for the report total.
-	total := tester.Stats()
-	total.Measurements += compareCost.Measurements
-	if err := common.FinishTelemetry(os.Stdout, tel, total); err != nil {
-		log.Fatal(err)
-	}
+		// The comparison rows ran on forked insertions; fold their cost into
+		// the serial tester's own counters for the report total.
+		total := tester.Stats()
+		total.Measurements += compareCost.Measurements
+		return common.FinishTelemetry(os.Stdout, tel, total)
+	})
 }

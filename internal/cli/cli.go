@@ -11,15 +11,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/ate"
 	"repro/internal/cachestore"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/flight"
 )
 
 // Common holds the flag values shared by every binary.
@@ -34,11 +38,30 @@ type Common struct {
 	Report      bool
 	Listen      string
 
+	// CrashDir enables post-mortem crash bundles: on a task panic, fatal
+	// error or stall, the run's flight-recorder tail, metrics, flags,
+	// goroutine stacks and partial report land in a bundle directory here.
+	CrashDir string
+	// StallTimeout arms the stall watchdog (requires CrashDir): a bundle is
+	// dumped — without exiting — when no progress event arrives for this
+	// long. Zero disables the watchdog.
+	StallTimeout time.Duration
+	// InjectFault is a testing hook ("task-panic" or "error") that fails the
+	// run on purpose right after telemetry starts, exercising the crash
+	// bundle path end to end. Hidden from -help-worthy docs on purpose; ci.sh
+	// and the cli tests are its only intended users.
+	InjectFault string
+
 	CPUProfilePath string
 	MemProfilePath string
 
 	server   *obs.Server
 	progress *obs.Progress
+	runName  string
+	tel      *telemetry.Telemetry
+	flight   *flight.Recorder
+	sampStop func()
+	wd       *watchdog
 }
 
 // Register installs the shared flags on the flag set (flag.CommandLine when
@@ -56,10 +79,75 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.TracePath, "trace", "", "write a structured JSONL event trace here (bit-identical for any -parallel)")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write the end-of-run metrics snapshot as JSON here")
 	fs.BoolVar(&c.Report, "report", false, "print the run report (phase breakdown, cache hit rate, measurements saved) on exit")
-	fs.StringVar(&c.Listen, "listen", "", "serve live observability HTTP (Prometheus /metrics, /progress SSE, /debug/pprof) on this addr:port while the run lasts (:0 picks a free port)")
+	fs.StringVar(&c.Listen, "listen", "", "serve live observability HTTP (Prometheus /metrics, /progress SSE, /debug/flight, /debug/pprof) on this addr:port while the run lasts (:0 picks a free port)")
+	fs.StringVar(&c.CrashDir, "crash-dir", "", "write post-mortem crash bundles (flight-recorder tail, metrics, flags, goroutine stacks, partial report) into this directory on panic, fatal error or stall")
+	fs.DurationVar(&c.StallTimeout, "stall-timeout", 0, "with -crash-dir: dump a stall bundle (without exiting) when no progress event arrives for this long (0 disables the watchdog)")
+	fs.StringVar(&c.InjectFault, "inject-fault", "", "testing hook: fail the run on purpose after startup (task-panic, error)")
 	fs.StringVar(&c.CPUProfilePath, "cpuprofile", "", "write a pprof CPU profile of the run here")
 	fs.StringVar(&c.MemProfilePath, "memprofile", "", "write a pprof heap profile (after a final GC) here on exit")
 	return c
+}
+
+// Validate checks the flag combinations that otherwise surface as late,
+// opaque failures mid-run: an unbindable -listen address, an unwritable
+// -crash-dir, a -stall-timeout without the -crash-dir its bundles need, and
+// an unknown -inject-fault mode. Each failure is a single clear line; the
+// binaries call this through Main before doing any work.
+func (c *Common) Validate() error {
+	if c.Listen != "" {
+		// Bind-and-release: the only reliable way to learn the address is
+		// usable. The real server re-binds microseconds later in
+		// StartTelemetry; a race against another process taking the port in
+		// between is possible but loses nothing — Start reports it too.
+		ln, err := net.Listen("tcp", c.Listen)
+		if err != nil {
+			return fmt.Errorf("cannot bind -listen address %q: %w", c.Listen, err)
+		}
+		ln.Close()
+	}
+	if c.CrashDir != "" {
+		if err := os.MkdirAll(c.CrashDir, 0o755); err != nil {
+			return fmt.Errorf("cannot write crash bundles to -crash-dir %q: %w", c.CrashDir, err)
+		}
+		probe, err := os.CreateTemp(c.CrashDir, ".probe-*")
+		if err != nil {
+			return fmt.Errorf("cannot write crash bundles to -crash-dir %q: %w", c.CrashDir, err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+	if c.StallTimeout > 0 && c.CrashDir == "" {
+		return fmt.Errorf("-stall-timeout requires -crash-dir (stall bundles need somewhere to go)")
+	}
+	switch c.InjectFault {
+	case "", "task-panic", "error":
+	default:
+		return fmt.Errorf("unknown -inject-fault mode %q (want task-panic or error)", c.InjectFault)
+	}
+	return nil
+}
+
+// Main is the run harness every binary wraps its work in: it validates the
+// flags (exiting 2 with a one-line error on a bad combination), runs body,
+// and routes failures through the crash-bundle path — a panic (including
+// the worker pool's deterministic TaskPanic) writes a "panic" bundle and
+// re-panics so the process still dies loudly with the original stack; an
+// error return writes a "fatal-error" bundle and exits 1 via log.Fatal.
+func (c *Common) Main(body func() error) {
+	if err := c.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s%v\n", log.Prefix(), err)
+		os.Exit(2)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.CaptureCrash("panic", r)
+			panic(r)
+		}
+	}()
+	if err := body(); err != nil {
+		c.CaptureCrash("fatal-error", err)
+		log.Fatal(err)
+	}
 }
 
 // OpenCacheStore opens the disk measurement store -cache-dir requests,
@@ -141,16 +229,20 @@ func (c *Common) StartProfiles() (stop func() error, err error) {
 }
 
 // TelemetryEnabled reports whether any telemetry output was requested.
+// -crash-dir counts: crash bundles want the live registry and flight
+// recorder even when no trace or report was asked for.
 func (c *Common) TelemetryEnabled() bool {
-	return c.TracePath != "" || c.MetricsPath != "" || c.Report || c.Listen != ""
+	return c.TracePath != "" || c.MetricsPath != "" || c.Report || c.Listen != "" || c.CrashDir != ""
 }
 
 // StartTelemetry opens the run telemetry the flags describe and installs
 // the worker-pool observer. With -listen set it also starts the live
-// observability HTTP server and announces its address on stderr; the live
-// feed taps the same deterministic hook points as the trace, so trace
-// bytes are identical with and without it. Returns nil (a fully inert
-// handle) when no telemetry output was requested.
+// observability HTTP server and announces its address on stderr; with
+// -listen or -crash-dir it attaches the flight recorder (bounded event ring
+// + runtime/metrics sampler) and, when -stall-timeout is set, the stall
+// watchdog. All live consumers tap the same deterministic hook points as
+// the trace, so trace bytes are identical with and without them. Returns
+// nil (a fully inert handle) when no telemetry output was requested.
 func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 	if !c.TelemetryEnabled() {
 		return nil, nil
@@ -164,10 +256,22 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 		}
 	}
 	tel := telemetry.New(runName, tracer)
+	c.runName = runName
+	c.tel = tel
+
 	poolObserver := parallel.Observer(tel.ObservePool)
+	var progress *obs.Progress
+	var recorder *flight.Recorder
 	if c.Listen != "" {
-		progress := obs.NewProgress(runName)
-		tel.SetRunObserver(progress)
+		progress = obs.NewProgress(runName)
+	}
+	if c.Listen != "" || c.CrashDir != "" {
+		recorder = flight.New(flight.DefaultCapacity)
+		recorder.ExportTo(tel.Registry())
+		c.flight = recorder
+	}
+	tel.SetRunObserver(telemetry.MultiObserver(progress, recorder))
+	if progress != nil || recorder != nil {
 		poolObserver = func(workers int, tasksPerWorker []int) {
 			tel.ObservePool(workers, tasksPerWorker)
 			total := 0
@@ -175,22 +279,72 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 				total += n
 			}
 			progress.PoolRun(workers, total)
+			recorder.PoolRun(workers, total)
 		}
+	}
+	if recorder != nil {
+		c.sampStop = recorder.StartSampler(flight.DefaultSampleInterval)
+	}
+	if c.Listen != "" {
 		srv, err := obs.Start(c.Listen, obs.Options{
 			Run:      runName,
 			Metrics:  tel.Registry().Snapshot,
 			Progress: progress,
+			Flight:   recorder,
 		})
 		if err != nil {
+			c.stopFlight()
 			tel.Close()
 			return nil, fmt.Errorf("cli: starting observability server: %w", err)
 		}
 		c.server = srv
 		c.progress = progress
-		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (metrics, progress, pprof)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (metrics, progress, flight, pprof)\n", srv.Addr())
 	}
 	parallel.SetObserver(poolObserver)
+	if c.CrashDir != "" && c.StallTimeout > 0 {
+		c.wd = c.startWatchdog(c.StallTimeout)
+	}
+
+	// Fault injection runs last so the bundle it produces captures the live
+	// telemetry state, exactly like a real mid-run failure would.
+	if err := c.injectFault(); err != nil {
+		return tel, err
+	}
 	return tel, nil
+}
+
+// injectFault triggers the -inject-fault testing hook: "task-panic" drives
+// the real worker-pool panic path (a task panics, the pool drains and
+// re-panics the deterministic TaskPanic envelope), "error" returns a plain
+// fatal error. Main's guard turns either into a crash bundle.
+func (c *Common) injectFault() error {
+	switch c.InjectFault {
+	case "task-panic":
+		//nolint:errcheck // unreachable: the pool re-panics the TaskPanic
+		parallel.Run(4, 2,
+			func(w int) (struct{}, error) { return struct{}{}, nil },
+			func(wk struct{}, i int) error {
+				if i == 2 {
+					panic(fmt.Sprintf("injected fault (task %d)", i))
+				}
+				return nil
+			})
+		return nil
+	case "error":
+		return fmt.Errorf("cli: injected fatal error (-inject-fault=error)")
+	}
+	return nil
+}
+
+// stopFlight tears down the sampler and watchdog (idempotent, nil-safe).
+func (c *Common) stopFlight() {
+	c.wd.Stop()
+	c.wd = nil
+	if c.sampStop != nil {
+		c.sampStop()
+		c.sampStop = nil
+	}
 }
 
 // FinishTelemetry closes out the run: writes the -metrics snapshot, prints
@@ -203,6 +357,8 @@ func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total at
 	if tel == nil {
 		return nil
 	}
+	// Watchdog first: a completed run must never race a stall bundle.
+	c.stopFlight()
 	parallel.SetObserver(nil)
 	c.progress.Done()
 	rep := tel.Report(Cost(total))
@@ -235,6 +391,8 @@ func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total at
 	if err := tel.Close(); err != nil {
 		return fmt.Errorf("cli: closing trace: %w", err)
 	}
+	c.tel = nil
+	c.flight = nil
 	return nil
 }
 

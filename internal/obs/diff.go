@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Trace-over-trace regression comparison: join two traces' per-label cost
+// rollups, compute the relative deltas, and flag every label where the new
+// trace got more expensive than a threshold allows. Traces carry only
+// logical counters, so two runs of the same workload diff to exactly zero —
+// any nonzero delta is a real workload change, not scheduling noise.
+
+// LabelDelta is one joined rollup row of a trace comparison.
+type LabelDelta struct {
+	Label string
+
+	// Old/New are nil when the label exists on only one side.
+	Old *Rollup
+	New *Rollup
+
+	// MeasurementsPct / SimTimePct are the relative growth of the new side
+	// over the old in percent (+25 = 25% more expensive). NaN when the old
+	// side is absent or zero on that axis.
+	MeasurementsPct float64
+	SimTimePct      float64
+
+	// Regressed marks rows that exceeded the comparison threshold.
+	Regressed bool
+	// Reason says which axis tripped ("measurements +31.2%", "appeared", …).
+	Reason string
+}
+
+// DiffOptions tunes a trace comparison.
+type DiffOptions struct {
+	// FailOverPct is the regression threshold in percent: a label whose
+	// measurement count or simulated-tester time grew by at least this much
+	// regresses. <= 0 disables thresholding (report-only diff).
+	FailOverPct float64
+	// MinMeasurements is the noise floor: labels whose measurement count
+	// stays below it on both sides never regress (a 3→4 measurement helper
+	// span is a 33% "regression" nobody should page on). Zero keeps every
+	// label.
+	MinMeasurements int64
+	// FailOnNew additionally flags labels present only in the new trace and
+	// carrying at least MinMeasurements measurements — a phase that did not
+	// exist before is a workload change a gate should surface.
+	FailOnNew bool
+}
+
+// TraceDiff is the result of comparing two parsed traces.
+type TraceDiff struct {
+	Deltas []LabelDelta
+	Opts   DiffOptions
+}
+
+// DiffTraces joins the two traces' rollups by label. Rows sort regressed
+// first, then by absolute simulated-time delta descending, then label.
+func DiffTraces(old, new *Trace, opts DiffOptions) *TraceDiff {
+	oldBy := make(map[string]Rollup)
+	for _, r := range old.Rollups() {
+		oldBy[r.Label] = r
+	}
+	newBy := make(map[string]Rollup)
+	for _, r := range new.Rollups() {
+		newBy[r.Label] = r
+	}
+
+	labels := make([]string, 0, len(oldBy)+len(newBy))
+	for l := range oldBy {
+		labels = append(labels, l)
+	}
+	for l := range newBy {
+		if _, ok := oldBy[l]; !ok {
+			labels = append(labels, l)
+		}
+	}
+	sort.Strings(labels)
+
+	d := &TraceDiff{Opts: opts}
+	for _, label := range labels {
+		var row LabelDelta
+		row.Label = label
+		if r, ok := oldBy[label]; ok {
+			rr := r
+			row.Old = &rr
+		}
+		if r, ok := newBy[label]; ok {
+			rr := r
+			row.New = &rr
+		}
+		row.MeasurementsPct = growthPct(rollupMeas(row.Old), rollupMeas(row.New))
+		row.SimTimePct = growthPctF(rollupSim(row.Old), rollupSim(row.New))
+		classify(&row, opts)
+		d.Deltas = append(d.Deltas, row)
+	}
+	sort.SliceStable(d.Deltas, func(i, j int) bool {
+		a, b := d.Deltas[i], d.Deltas[j]
+		if a.Regressed != b.Regressed {
+			return a.Regressed
+		}
+		da, db := math.Abs(simDelta(a)), math.Abs(simDelta(b))
+		if da != db {
+			return da > db
+		}
+		return a.Label < b.Label
+	})
+	return d
+}
+
+// classify decides whether one row regresses under the options.
+func classify(row *LabelDelta, opts DiffOptions) {
+	if opts.FailOverPct <= 0 {
+		return
+	}
+	// Noise floor: tiny labels never regress.
+	if rollupMeas(row.Old) < opts.MinMeasurements && rollupMeas(row.New) < opts.MinMeasurements {
+		return
+	}
+	switch {
+	case row.Old == nil:
+		if opts.FailOnNew {
+			row.Regressed = true
+			row.Reason = "appeared"
+		}
+	case row.New == nil:
+		// A vanished label is an improvement (or a renamed phase the
+		// corresponding "appeared" row surfaces); never a regression.
+	default:
+		if !math.IsNaN(row.MeasurementsPct) && row.MeasurementsPct >= opts.FailOverPct {
+			row.Regressed = true
+			row.Reason = fmt.Sprintf("measurements +%.1f%%", row.MeasurementsPct)
+			return
+		}
+		if !math.IsNaN(row.SimTimePct) && row.SimTimePct >= opts.FailOverPct {
+			row.Regressed = true
+			row.Reason = fmt.Sprintf("sim time +%.1f%%", row.SimTimePct)
+		}
+	}
+}
+
+// Regressions returns the rows that tripped the threshold.
+func (d *TraceDiff) Regressions() []LabelDelta {
+	var out []LabelDelta
+	for _, row := range d.Deltas {
+		if row.Regressed {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Render writes the human-readable comparison table.
+func (d *TraceDiff) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %13s %13s %9s %12s %12s %9s  %s\n",
+		"span", "meas old", "meas new", "Δmeas%", "sim old (s)", "sim new (s)", "Δsim%", "verdict")
+	for _, row := range d.Deltas {
+		verdict := "ok"
+		if row.Regressed {
+			verdict = "REGRESSED " + row.Reason
+		} else if row.Old == nil {
+			verdict = "new"
+		} else if row.New == nil {
+			verdict = "gone"
+		}
+		fmt.Fprintf(&b, "%-28s %13s %13s %9s %12s %12s %9s  %s\n",
+			row.Label,
+			intCell(row.Old), intCell(row.New),
+			pctCell(row.MeasurementsPct),
+			floatCell(row.Old), floatCell(row.New),
+			pctCell(row.SimTimePct), verdict)
+	}
+	if n := len(d.Regressions()); n > 0 {
+		fmt.Fprintf(&b, "\n%d label(s) regressed beyond %.1f%%\n", n, d.Opts.FailOverPct)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func simDelta(row LabelDelta) float64 {
+	return rollupSim(row.New) - rollupSim(row.Old)
+}
+
+func rollupMeas(r *Rollup) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Measurements
+}
+
+func rollupSim(r *Rollup) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.SimTimeSec
+}
+
+// growthPct returns the percent growth of new over old, NaN when old is 0.
+func growthPct(old, new int64) float64 {
+	return growthPctF(float64(old), float64(new))
+}
+
+func growthPctF(old, new float64) float64 {
+	if old == 0 {
+		return math.NaN()
+	}
+	return 100 * (new - old) / old
+}
+
+func intCell(r *Rollup) string {
+	if r == nil {
+		return "—"
+	}
+	return fmt.Sprintf("%d", r.Measurements)
+}
+
+func floatCell(r *Rollup) string {
+	if r == nil {
+		return "—"
+	}
+	return fmt.Sprintf("%.3f", r.SimTimeSec)
+}
+
+func pctCell(pct float64) string {
+	if math.IsNaN(pct) {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}

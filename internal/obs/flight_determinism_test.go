@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/flight"
+)
+
+// runFlowWithFlight executes the learn → optimize flow with a flight
+// recorder (and its runtime sampler) attached the way the CLI wires it:
+// observer callbacks plus nd_flight_* gauges into the live registry.
+func runFlowWithFlight(t *testing.T, seed int64, parallelism int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tel := telemetry.New("flow", telemetry.NewTracer(&buf))
+	rec := flight.New(flight.DefaultCapacity)
+	rec.ExportTo(tel.Registry())
+	tel.SetRunObserver(rec)
+	stop := rec.StartSampler(time.Millisecond)
+	defer stop()
+
+	cfg := quickFlowConfig(seed)
+	cfg.Parallelism = parallelism
+	cfg.Telemetry = tel
+	char, err := core.NewCharacterizer(cfg, newFlowTester(t, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := char.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := char.Optimize(); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.TotalEvents() == 0 {
+		t.Fatal("flight recorder saw no events during the flow")
+	}
+	return buf.Bytes()
+}
+
+// The acceptance pin: deterministic trace bytes stay bit-identical with the
+// flight recorder (including its aggressively ticking runtime sampler)
+// enabled vs disabled, at -parallel 1, 2 and 8. The recorder only consumes
+// observer callbacks and writes to nd_-prefixed gauges, so nothing it does
+// can reach the trace stream.
+func TestTraceBytesIdenticalWithFlightRecorder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		plain, _ := runFlow(t, 83, workers, false)
+		recorded := runFlowWithFlight(t, 83, workers)
+		if !bytes.Equal(plain, recorded) {
+			t.Errorf("parallelism=%d: flight recorder changed the trace bytes (plain %d B, recorded %d B)",
+				workers, len(plain), len(recorded))
+		}
+	}
+}
+
+// The nd_ quarantine: every metric the recorder exports must carry the
+// NonDeterministicPrefix, so deterministic metrics snapshots stay
+// comparable across runs with and without the recorder.
+func TestFlightGaugesAllQuarantined(t *testing.T) {
+	tel := telemetry.New("q", nil)
+	rec := flight.New(32)
+	rec.ExportTo(tel.Registry())
+	stop := rec.StartSampler(time.Hour) // one synchronous sample
+	stop()
+	snap := tel.Registry().Snapshot()
+	for name := range snap.Gauges {
+		if len(name) >= 7 && name[:7] == "flight_" {
+			t.Errorf("flight gauge %q missing the %q prefix", name, telemetry.NonDeterministicPrefix)
+		}
+	}
+	found := false
+	for name := range snap.Gauges {
+		if name == telemetry.NonDeterministicPrefix+"flight_heap_bytes" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no nd_flight_heap_bytes gauge after a sample")
+	}
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/flight"
+)
+
+func TestFlightEndpoint(t *testing.T) {
+	rec := flight.New(64)
+	rec.PhaseStarted("learn")
+	rec.SearchRecorded(7, 41, true)
+	srv, err := Start("127.0.0.1:0", Options{Run: "flight-run", Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+srv.Addr()+"/debug/flight")
+	if code != 200 {
+		t.Fatalf("/debug/flight = %d: %s", code, body)
+	}
+	var payload struct {
+		Run              string          `json:"run"`
+		NonDeterministic flight.Snapshot `json:"non_deterministic"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/debug/flight not JSON: %v\n%s", err, body)
+	}
+	if payload.Run != "flight-run" {
+		t.Errorf("run = %q", payload.Run)
+	}
+	nd := payload.NonDeterministic
+	if nd.TotalEvents != 2 || len(nd.Events) != 2 {
+		t.Errorf("flight payload = %d total / %d events, want 2/2", nd.TotalEvents, len(nd.Events))
+	}
+	if nd.Events[0].Kind != "phase-start" || nd.Events[1].Kind != "search" {
+		t.Errorf("flight event kinds = %q/%q", nd.Events[0].Kind, nd.Events[1].Kind)
+	}
+
+	// ?max trims to the newest events.
+	_, body = get(t, "http://"+srv.Addr()+"/debug/flight?max=1")
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.NonDeterministic.Events) != 1 || payload.NonDeterministic.Events[0].Kind != "search" {
+		t.Errorf("?max=1 events = %+v", payload.NonDeterministic.Events)
+	}
+
+	// The index page links the endpoint.
+	if _, body := get(t, "http://"+srv.Addr()+"/"); !strings.Contains(body, "/debug/flight") {
+		t.Error("index page does not link /debug/flight")
+	}
+}
+
+func TestFlightEndpointWithoutRecorder(t *testing.T) {
+	srv, _, _ := startTestServer(t)
+	code, body := get(t, "http://"+srv.Addr()+"/debug/flight")
+	if code != http.StatusNotFound || !strings.Contains(body, "no flight recorder attached") {
+		t.Errorf("/debug/flight without recorder = %d %q, want 404", code, body)
+	}
+}
+
+// openSSE opens a /progress SSE stream against a server with the given
+// heartbeat interval and returns the server and live response.
+func openSSE(t *testing.T, hb time.Duration) (*Server, *Progress, *http.Response) {
+	t.Helper()
+	p := NewProgress("hb-run")
+	srv, err := Start("127.0.0.1:0", Options{Run: "hb-run", Progress: p, Heartbeat: hb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	req, err := http.NewRequest("GET", "http://"+srv.Addr()+"/progress?sse=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, p, resp
+}
+
+func TestServerSSEHeartbeat(t *testing.T) {
+	_, _, resp := openSSE(t, 20*time.Millisecond)
+	defer resp.Body.Close()
+
+	// An idle stream (no publishes after the first frame) must still carry
+	// heartbeat comment frames.
+	sawHeartbeat := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), ": heartbeat") {
+				close(sawHeartbeat)
+				return
+			}
+		}
+	}()
+	select {
+	case <-sawHeartbeat:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no heartbeat comment within 5s on an idle SSE stream")
+	}
+}
+
+// TestServerSSEDisconnectCleanup pins that a client that goes away does not
+// leak its handler goroutine: the heartbeat (or context cancellation) must
+// reap the stream.
+func TestServerSSEDisconnectCleanup(t *testing.T) {
+	p := NewProgress("leak-run")
+	srv, err := Start("127.0.0.1:0", Options{Run: "leak-run", Progress: p, Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Baseline after the server is up: only client streams vary from here.
+	before := runtime.NumGoroutine()
+
+	const clients = 4
+	var resps []*http.Response
+	for i := 0; i < clients; i++ {
+		req, err := http.NewRequest("GET", "http://"+srv.Addr()+"/progress?sse=1", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A dedicated transport per stream forces one TCP conn each and lets
+		// the close below tear the conn down instead of pooling it.
+		tr := &http.Transport{DisableKeepAlives: true}
+		resp, err := (&http.Client{Transport: tr}).Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps = append(resps, resp)
+		// Wait for the first frame so the handler goroutine is parked in its
+		// streaming loop before we cut the connection.
+		br := bufio.NewReader(resp.Body)
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("stream %d: %v", i, err)
+			}
+			if strings.HasPrefix(line, "data: ") {
+				break
+			}
+		}
+	}
+	// Each live stream holds at least its server-side handler goroutine.
+	if runtime.NumGoroutine() <= before {
+		t.Fatalf("expected goroutine growth with %d open streams", clients)
+	}
+	for _, r := range resps {
+		r.Body.Close()
+	}
+
+	// The handlers notice the dead sockets (context cancellation or a failed
+	// heartbeat write) and exit; poll until the count settles back.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		// Allow a small slack: the http.Server keeps transient goroutines.
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked after SSE disconnect: before=%d now=%d\n%s",
+		before, runtime.NumGoroutine(), buf[:n])
+}
+
+func TestServerPortInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	_, err = Start(ln.Addr().String(), Options{Run: "dup"})
+	if err == nil {
+		t.Fatal("Start on an occupied port succeeded")
+	}
+	if !strings.Contains(err.Error(), "obs: listening on") {
+		t.Errorf("port-in-use error = %q", err)
+	}
+}
+
+func TestServerCloseWithoutStart(t *testing.T) {
+	// Nil and never-started servers close cleanly — the CLI shutdown path
+	// runs unconditionally.
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil server Close = %v", err)
+	}
+	if nilSrv.Addr() != "" {
+		t.Errorf("nil server Addr = %q", nilSrv.Addr())
+	}
+	if err := (&Server{}).Close(); err != nil {
+		t.Errorf("zero server Close = %v", err)
+	}
+	// Double Close is idempotent on a started server.
+	srv, err := Start("127.0.0.1:0", Options{Run: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("first Close = %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+}
+
+func TestProgressAfterRunCompletion(t *testing.T) {
+	srv, tel, p := startTestServer(t)
+	base := "http://" + srv.Addr()
+
+	ph := tel.StartPhase("learn")
+	ph.End(telemetry.Cost{Measurements: 3})
+	p.Done()
+
+	// Plain snapshot still serves after completion, frozen in the done state.
+	code, body := get(t, base+"/progress")
+	if code != 200 {
+		t.Fatalf("/progress after done = %d", code)
+	}
+	var payload struct{ Snapshot }
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.State != StateDone {
+		t.Errorf("state after done = %q", payload.State)
+	}
+
+	// An SSE subscriber arriving after completion gets exactly the final
+	// frame and a closed stream — no hang, no goroutine left behind.
+	req, _ := http.NewRequest("GET", base+"/progress?sse=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	done := make(chan string, 1)
+	go func() {
+		var last string
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				last = strings.TrimPrefix(sc.Text(), "data: ")
+			}
+		}
+		done <- last
+	}()
+	select {
+	case last := <-done:
+		if !strings.Contains(last, `"state":"done"`) {
+			t.Errorf("late SSE subscriber final frame = %s", last)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream did not terminate after run completion")
+	}
+
+	// Readiness stays true in the done state (the run started and finished).
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after done = %d, want 200", code)
+	}
+}

@@ -4,13 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/flight"
 )
 
 // Options configures an admin server.
@@ -23,7 +26,18 @@ type Options struct {
 	// Progress feeds /progress and /readyz. Nil disables both with 404 /
 	// not-ready responses.
 	Progress *Progress
+	// Flight feeds /debug/flight with the recorder's event tail and latest
+	// runtime sample. Nil serves a 404 JSON error there.
+	Flight *flight.Recorder
+	// Heartbeat is the interval between SSE comment frames on idle
+	// /progress streams, keeping proxies from reaping quiet connections and
+	// letting the server notice dead clients. Zero takes DefaultHeartbeat;
+	// negative disables heartbeats.
+	Heartbeat time.Duration
 }
+
+// DefaultHeartbeat is the idle-stream SSE comment interval.
+const DefaultHeartbeat = 15 * time.Second
 
 // Server is the embeddable observability endpoint of one run: /metrics in
 // Prometheus text format, /healthz + run-phase-aware /readyz, net/http/pprof
@@ -83,6 +97,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	// net/http/pprof registers on DefaultServeMux as an import side effect;
 	// mounting the handlers explicitly keeps this mux self-contained.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -106,6 +121,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/healthz">/healthz</a> — liveness</li>
 <li><a href="/readyz">/readyz</a> — run-phase-aware readiness</li>
 <li><a href="/progress">/progress</a> — live run snapshot (add <code>Accept: text/event-stream</code> or <code>?sse=1</code> to stream)</li>
+<li><a href="/debug/flight">/debug/flight</a> — flight-recorder tail + latest runtime sample</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
 </ul></body></html>
 `, s.opts.Run, s.opts.Run)
@@ -198,6 +214,29 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.payload())
 }
 
+// handleFlight serves the flight recorder's ring tail and latest runtime
+// sample. Everything the recorder holds — wall-clock event times, heap and
+// scheduler readings — varies run to run, so the whole snapshot lives under
+// the same non_deterministic quarantine key /progress uses for its ND
+// block; nothing here ever feeds determinism comparisons.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	rec := s.opts.Flight
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "no flight recorder attached"})
+		return
+	}
+	max := 0
+	if q := r.URL.Query().Get("max"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n > 0 {
+			max = n
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"run":               s.opts.Run,
+		"non_deterministic": rec.Snapshot(max),
+	})
+}
+
 // wantsSSE selects the streaming variant: an explicit ?sse=1 or an Accept
 // header asking for text/event-stream.
 func wantsSSE(r *http.Request) bool {
@@ -220,6 +259,20 @@ func (s *Server) serveProgressSSE(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
+
+	// Heartbeat comments keep idle streams alive through proxies and turn a
+	// silently-departed client into a prompt write error, so the handler
+	// goroutine is reclaimed instead of parking on the watch channel forever.
+	hb := s.opts.Heartbeat
+	if hb == 0 {
+		hb = DefaultHeartbeat
+	}
+	var heartbeat <-chan time.Time
+	if hb > 0 {
+		ticker := time.NewTicker(hb)
+		defer ticker.Stop()
+		heartbeat = ticker.C
+	}
 
 	p := s.opts.Progress
 	var lastSeq uint64
@@ -246,6 +299,12 @@ func (s *Server) serveProgressSSE(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-watch:
+		case <-heartbeat:
+			// SSE comment frame: ignored by clients, fatal on a dead socket.
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		}
 	}
 }

@@ -16,6 +16,7 @@ package parallel
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -72,6 +73,12 @@ func Bound(workers, tasks int) int {
 type TaskPanic struct {
 	Task  int
 	Value any
+	// Stack is the panicking goroutine's stack captured at recover time —
+	// the pool re-panics from its own frame after the batch drains, so
+	// without this the original crash site would be lost. Diagnostic only
+	// (addresses and goroutine IDs vary run to run); crash bundles file it
+	// with the other nondeterministic artifacts.
+	Stack []byte
 }
 
 // Error makes a TaskPanic readable when it escapes to a crash report or is
@@ -110,10 +117,11 @@ func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W
 	}
 	obs := observer.Load()
 	nw := Bound(workers, n)
-	runTask := func(wk W, i int, panics []any) (err error) {
+	runTask := func(wk W, i int, panics []any, stacks [][]byte) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				panics[i] = r
+				stacks[i] = debug.Stack()
 			}
 		}()
 		return task(wk, i)
@@ -124,10 +132,11 @@ func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W
 			return err
 		}
 		panics := make([]any, n)
+		stacks := make([][]byte, n)
 		for i := 0; i < n; i++ {
-			err := runTask(wk, i, panics)
+			err := runTask(wk, i, panics, stacks)
 			if panics[i] != nil {
-				panic(TaskPanic{Task: i, Value: panics[i]})
+				panic(TaskPanic{Task: i, Value: panics[i], Stack: stacks[i]})
 			}
 			if err != nil {
 				return err
@@ -141,6 +150,7 @@ func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W
 
 	taskErrs := make([]error, n)
 	panics := make([]any, n)
+	stacks := make([][]byte, n)
 	workerErrs := make([]error, nw)
 	taskCounts := make([]int, nw)
 	var next atomic.Int64
@@ -160,14 +170,14 @@ func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W
 					return
 				}
 				taskCounts[w]++
-				taskErrs[i] = runTask(wk, i, panics)
+				taskErrs[i] = runTask(wk, i, panics, stacks)
 			}
 		}(w)
 	}
 	wg.Wait()
 	for i, r := range panics {
 		if r != nil {
-			panic(TaskPanic{Task: i, Value: r})
+			panic(TaskPanic{Task: i, Value: r, Stack: stacks[i]})
 		}
 	}
 	if obs != nil {

@@ -75,6 +75,11 @@ func TestRunPanicPropagatesLowestIndex(t *testing.T) {
 		if !strings.Contains(tp.Error(), "task 2 panicked: boom 2") {
 			t.Errorf("workers=%d: unhelpful message %q", workers, tp.Error())
 		}
+		// The winning panic carries the stack captured at recover time, so a
+		// crash report can show the original frame, not the pool's re-panic.
+		if !strings.Contains(string(tp.Stack), "panic") {
+			t.Errorf("workers=%d: TaskPanic.Stack missing the panic frame:\n%s", workers, tp.Stack)
+		}
 		// The pooled path runs every task despite the panics; the inline
 		// path stops at the first one (index order, so equally deterministic).
 		if workers == 1 && ran.Load() != 3 {

@@ -199,3 +199,74 @@ func TestHitRateZeroLookups(t *testing.T) {
 		t.Errorf("zero-lookup report CacheHitRate() = %v, want 0", got)
 	}
 }
+
+// TestRegistrySnapshotWhileRecording pins that Snapshot is safe and
+// self-consistent while writers are live: every observed counter value is a
+// valid prefix of the final total, and no snapshot tears (caught by -race).
+func TestRegistrySnapshotWhileRecording(t *testing.T) {
+	r := NewRegistry()
+	const writers, perWriter = 4, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// One snapshotter per writer, hammering Snapshot concurrently.
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if v, ok := snap.Counters["events"]; ok {
+					if v < 0 || v > writers*perWriter {
+						t.Errorf("snapshot counter out of range: %d", v)
+						return
+					}
+				}
+				if g, ok := snap.Gauges["level"]; ok && (g < 0 || g >= perWriter) {
+					t.Errorf("snapshot gauge out of range: %v", g)
+					return
+				}
+				if h, ok := snap.Histograms["lat"]; ok {
+					// Cumulative bucket counts must be monotone.
+					prev := int64(0)
+					for _, b := range h.Buckets {
+						if b.Count < prev {
+							t.Errorf("histogram buckets not cumulative: %+v", h.Buckets)
+							return
+						}
+						prev = b.Count
+					}
+				}
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for j := 0; j < perWriter; j++ {
+				r.Counter("events").Inc()
+				r.Gauge("level").Set(float64(j))
+				r.Histogram("lat", 1, 5, 10).Observe(float64(j % 12))
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	final := r.Snapshot()
+	if final.Counters["events"] != writers*perWriter {
+		t.Errorf("final counter = %d, want %d", final.Counters["events"], writers*perWriter)
+	}
+	if final.Histograms["lat"].Count != writers*perWriter {
+		t.Errorf("final histogram count = %d, want %d", final.Histograms["lat"].Count, writers*perWriter)
+	}
+}

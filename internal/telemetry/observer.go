@@ -37,6 +37,70 @@ type RunObserver interface {
 // observerBox wraps the interface so it can live in an atomic.Pointer.
 type observerBox struct{ o RunObserver }
 
+// MultiObserver fans every RunObserver callback out to each observer in
+// order. Nil entries are dropped; zero remaining observers collapse to nil
+// (no observer installed) and a single one is returned unwrapped, so the
+// fan-out layer costs nothing unless it is actually needed.
+func MultiObserver(obs ...RunObserver) RunObserver {
+	kept := make([]RunObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multiObserver(kept)
+}
+
+type multiObserver []RunObserver
+
+func (m multiObserver) PhaseStarted(name string) {
+	for _, o := range m {
+		o.PhaseStarted(name)
+	}
+}
+
+func (m multiObserver) PhaseEnded(name string, cost Cost) {
+	for _, o := range m {
+		o.PhaseEnded(name, cost)
+	}
+}
+
+func (m multiObserver) SearchRecorded(measurements, fullRangeBudget int, converged bool) {
+	for _, o := range m {
+		o.SearchRecorded(measurements, fullRangeBudget, converged)
+	}
+}
+
+func (m multiObserver) CacheLookups(hits, misses int64, fullRangeBudget int) {
+	for _, o := range m {
+		o.CacheLookups(hits, misses, fullRangeBudget)
+	}
+}
+
+func (m multiObserver) DiskCache(d DiskCacheStats) {
+	for _, o := range m {
+		o.DiskCache(d)
+	}
+}
+
+func (m multiObserver) Generation(gen int, bestWCR float64) {
+	for _, o := range m {
+		o.Generation(gen, bestWCR)
+	}
+}
+
+func (m multiObserver) Item(kind string, done, total int) {
+	for _, o := range m {
+		o.Item(kind, done, total)
+	}
+}
+
 // SetRunObserver installs (or, with nil, removes) the live run observer.
 // Reads on the emission paths are a single atomic load, so an absent
 // observer costs nothing measurable. Nil-safe.

@@ -137,3 +137,35 @@ func TestObserverDoesNotPerturbTrace(t *testing.T) {
 		t.Errorf("trace differs with observer attached:\nplain:    %s\nobserved: %s", plain, observed)
 	}
 }
+
+func TestMultiObserverFansOut(t *testing.T) {
+	a, b := &recordingObserver{}, &recordingObserver{}
+
+	// Nil entries drop; zero observers collapse to nil; one returns itself.
+	if MultiObserver() != nil {
+		t.Error("MultiObserver() should be nil")
+	}
+	if MultiObserver(nil, nil) != nil {
+		t.Error("MultiObserver(nil, nil) should be nil")
+	}
+	if got := MultiObserver(nil, a); got != RunObserver(a) {
+		t.Errorf("MultiObserver(nil, a) = %v, want a unwrapped", got)
+	}
+
+	m := MultiObserver(a, nil, b)
+	m.PhaseStarted("learn")
+	m.SearchRecorded(4, 64, true)
+	m.CacheLookups(2, 1, 64)
+	m.DiskCache(DiskCacheStats{Hits: 1})
+	m.Generation(3, 1.25)
+	m.Item("die", 1, 10)
+	m.PhaseEnded("learn", Cost{Measurements: 4})
+
+	want := []string{"start:learn", "search", "cache", "disk", "gen", "item:die", "end:learn"}
+	if !reflect.DeepEqual(a.log, want) {
+		t.Errorf("first observer log = %v, want %v", a.log, want)
+	}
+	if !reflect.DeepEqual(b.log, want) {
+		t.Errorf("second observer log = %v, want %v", b.log, want)
+	}
+}
