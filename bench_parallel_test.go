@@ -122,3 +122,43 @@ func BenchmarkFigure8ShmooParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFigure5Sched is the fleet-vs-batch ladder behind the CI
+// scheduling gate: the same fig. 5 optimization run dispatched through the
+// persistent pipelined fleet (the default) and through the frozen per-batch
+// fork/join pool, at each worker count. Results are bit-identical (pinned by
+// TestSchedulerEquivalenceOptimize); the fleet must be materially faster
+// because its workers keep their ATE insertions — and their dense execution
+// scratch — alive across generations instead of re-forking every batch.
+func BenchmarkFigure5Sched(b *testing.B) {
+	for _, sched := range []string{core.SchedulerBatch, core.SchedulerFleet} {
+		for _, workers := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("sched=%s/workers=%d", sched, workers), func(b *testing.B) {
+				tester, _ := newRig(b, 78)
+				cfg := core.DefaultConfig(78)
+				nominal := testgen.NominalConditions()
+				cfg.FixedConditions = &nominal
+				cfg.Parallelism = workers
+				cfg.Scheduler = sched
+				char, err := core.NewCharacterizer(cfg, tester)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer char.Close()
+				if _, err := char.Learn(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					opt, err := char.Optimize()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(opt.Measurements), "measurements")
+					}
+				}
+			})
+		}
+	}
+}

@@ -87,6 +87,7 @@ func main() {
 		cfg.Parameter = param
 		cfg.LearnTests = *learnTests
 		cfg.Parallelism = common.Parallel
+		cfg.Scheduler = common.Scheduler
 		cfg.DisableMeasurementCache = common.NoCache
 		cfg.Telemetry = tel
 		if !*evolveCond {
@@ -109,6 +110,7 @@ func main() {
 		if err != nil {
 			return err
 		}
+		defer char.Close()
 
 		// With -cache-dir, recover the previous identical run's memoized
 		// fitness values: the store scope binds parameter, geometry, die and

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dut"
+	"repro/internal/parallel"
 	"repro/internal/telemetry"
 	"repro/internal/testgen"
 )
@@ -140,12 +141,18 @@ func main() {
 		if err != nil {
 			return err
 		}
-		screenStart := time.Now()
-		rep, err := core.ScreenLotStream(ate.TDQ, tests, src, geom, *seed, core.LotOptions{
+		lotOpts := core.LotOptions{
 			Workers:   *sites,
 			Cache:     store,
 			Telemetry: tel,
-		})
+		}
+		if common.Scheduler != "batch" {
+			f := parallel.NewFleet(parallel.Bound(*sites, src.Len()))
+			defer f.Close()
+			lotOpts.Fleet = f
+		}
+		screenStart := time.Now()
+		rep, err := core.ScreenLotStream(ate.TDQ, tests, src, geom, *seed, lotOpts)
 		if err != nil {
 			return err
 		}

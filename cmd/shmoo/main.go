@@ -19,6 +19,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dut"
+	"repro/internal/parallel"
 	"repro/internal/shmoo"
 	"repro/internal/telemetry"
 	"repro/internal/testgen"
@@ -92,8 +93,16 @@ func main() {
 				telemetry.I("vectors", cost.VectorsApplied))
 			tel.RecordItem("shmoo-test", index+1, len(batch))
 		}
-		if err := plot.AddTestsParallel(tester, batch, *seed, *par); err != nil {
-			return err
+		if common.Scheduler == "batch" {
+			if err := plot.AddTestsParallel(tester, batch, *seed, *par); err != nil {
+				return err
+			}
+		} else {
+			f := parallel.NewFleet(parallel.Bound(*par, len(batch)))
+			defer f.Close()
+			if err := plot.AddTestsOn(f, tester, batch, *seed); err != nil {
+				return err
+			}
 		}
 		plot.OnTest = nil
 		ph.End(cli.Cost(tester.Stats()))

@@ -60,6 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer char.Close()
 	min, err := char.Minimize(worst.Worst.Test, core.DefaultMinimizeConfig())
 	if err != nil {
 		log.Fatal(err)

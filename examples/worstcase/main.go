@@ -38,6 +38,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer char.Close()
 
 	// --- Learning scheme (fig. 4) ---------------------------------------
 	fmt.Println("phase 1 — learning scheme (fig. 4)")

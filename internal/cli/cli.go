@@ -28,10 +28,11 @@ import (
 
 // Common holds the flag values shared by every binary.
 type Common struct {
-	Seed     int64
-	Parallel int
-	NoCache  bool
-	CacheDir string
+	Seed      int64
+	Parallel  int
+	Scheduler string
+	NoCache   bool
+	CacheDir  string
 
 	TracePath   string
 	MetricsPath string
@@ -74,6 +75,7 @@ func Register(fs *flag.FlagSet) *Common {
 	c := &Common{}
 	fs.Int64Var(&c.Seed, "seed", 1, "random seed for the whole run")
 	fs.IntVar(&c.Parallel, "parallel", 0, "worker count for every parallel stage (0 = one per CPU, 1 = serial; results are identical either way)")
+	fs.StringVar(&c.Scheduler, "scheduler", "", "parallel scheduler: fleet (persistent pipelined worker pool, the default) or batch (legacy per-batch fork/join; bit-identical results, only wall-clock differs)")
 	fs.BoolVar(&c.NoCache, "no-cache", false, "disable the measurement memo-cache (re-measure structurally identical tests)")
 	fs.StringVar(&c.CacheDir, "cache-dir", "", "persist measurement results in this directory (content-addressed; a second identical run serves them from disk)")
 	fs.StringVar(&c.TracePath, "trace", "", "write a structured JSONL event trace here (bit-identical for any -parallel)")
@@ -123,6 +125,11 @@ func (c *Common) Validate() error {
 	case "", "task-panic", "error":
 	default:
 		return fmt.Errorf("unknown -inject-fault mode %q (want task-panic or error)", c.InjectFault)
+	}
+	switch c.Scheduler {
+	case "", "fleet", "batch":
+	default:
+		return fmt.Errorf("unknown -scheduler %q (want fleet or batch)", c.Scheduler)
 	}
 	return nil
 }
@@ -282,6 +289,20 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 			recorder.PoolRun(workers, total)
 		}
 	}
+	// Fleet stream stats mirror the pool observer's quarantine: nd_ gauges
+	// in the registry (excluded from determinism diffs), the /progress
+	// non_deterministic section and the flight ring.
+	reg := tel.Registry()
+	parallel.SetFleetObserver(func(st parallel.StreamStats) {
+		reg.Counter("nd_fleet_streams_total").Add(1)
+		reg.Gauge("nd_fleet_queue_depth").Set(float64(st.MaxRunAhead))
+		reg.Gauge("nd_fleet_utilization").Set(st.Utilization())
+		reg.Gauge("nd_fleet_overlap_ratio").Set(st.OverlapRatio())
+		progress.FleetStream(st.Workers, st.Tasks, st.MaxRunAhead, st.Utilization(), st.OverlapRatio())
+		if recorder != nil {
+			recorder.FleetStream(st.Workers, st.Tasks, st.MaxRunAhead, st.Utilization(), st.OverlapRatio())
+		}
+	})
 	if recorder != nil {
 		c.sampStop = recorder.StartSampler(flight.DefaultSampleInterval)
 	}
@@ -360,6 +381,7 @@ func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total at
 	// Watchdog first: a completed run must never race a stall bundle.
 	c.stopFlight()
 	parallel.SetObserver(nil)
+	parallel.SetFleetObserver(nil)
 	c.progress.Done()
 	rep := tel.Report(Cost(total))
 	if c.MetricsPath != "" {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fuzzy"
 	"repro/internal/genetic"
 	"repro/internal/neural"
+	"repro/internal/parallel"
 	"repro/internal/search"
 	"repro/internal/telemetry"
 	"repro/internal/testgen"
@@ -79,6 +80,15 @@ type Config struct {
 	// any value — see internal/parallel.
 	Parallelism int
 
+	// Scheduler selects the parallel execution substrate. SchedulerFleet
+	// (the default) runs every fan-out on one persistent worker fleet whose
+	// forked insertions survive across GA generations and pipeline phases,
+	// with in-order streamed merges; SchedulerBatch is the legacy per-batch
+	// fork/join pool, kept as the frozen performance comparator. Results,
+	// traces and reports are bit-identical between the two (pinned by the
+	// scheduler-equivalence tests); only wall-clock differs.
+	Scheduler string
+
 	// DisableMeasurementCache turns off the GA's measurement memo-cache so
 	// every individual is re-measured even when its sequence and conditions
 	// are structurally identical to one already measured. Used to baseline
@@ -92,6 +102,12 @@ type Config struct {
 	// Parallelism. Nil disables instrumentation at near-zero cost.
 	Telemetry *telemetry.Telemetry
 }
+
+// Scheduler values for Config.Scheduler ("" selects SchedulerFleet).
+const (
+	SchedulerFleet = "fleet"
+	SchedulerBatch = "batch"
+)
 
 // DefaultConfig returns a configuration sized to run the full flow in
 // seconds on a laptop while preserving the paper's structure.
@@ -124,8 +140,16 @@ func (c Config) Validate() error {
 	if c.SeedCount < 1 {
 		return fmt.Errorf("core: SeedCount %d must be positive", c.SeedCount)
 	}
+	switch c.Scheduler {
+	case "", SchedulerFleet, SchedulerBatch:
+	default:
+		return fmt.Errorf("core: unknown Scheduler %q (want %q or %q)", c.Scheduler, SchedulerFleet, SchedulerBatch)
+	}
 	return nil
 }
+
+// useFleet reports whether the flow runs on the persistent fleet.
+func (c Config) useFleet() bool { return c.Scheduler != SchedulerBatch }
 
 // Characterizer owns one flow instance: the tester, the generator, the
 // coder and (after Learn) the trained ensemble.
@@ -140,6 +164,12 @@ type Characterizer struct {
 	// primed holds disk-recovered fitness values (PrimeMemoCache) that
 	// seed the next Optimize run's memo-cache.
 	primed map[uint64]float64
+
+	// fleet is the flow's persistent worker pool (SchedulerFleet), created
+	// lazily by Fleet() and released by Close; voteScratch holds the
+	// per-fleet-worker ensemble voting arenas ProposeSeeds memoizes.
+	fleet       *parallel.Fleet
+	voteScratch []*neural.EnsembleScratch
 }
 
 // NewCharacterizer wires a flow against a tester insertion.
@@ -158,6 +188,31 @@ func NewCharacterizer(cfg Config, tester *ate.ATE) (*Characterizer, error) {
 	gen := testgen.NewRandomGenerator(cfg.Seed, tester.Device().Geometry().Words(), testgen.DefaultConditionLimits())
 	gen.FixedConditions = cfg.FixedConditions
 	return &Characterizer{cfg: cfg, ate: tester, gen: gen, coder: coder}, nil
+}
+
+// Fleet returns the flow's persistent worker fleet, creating it on first
+// use (sized by Config.Parallelism), or nil under SchedulerBatch. All of
+// the flow's phases share this one pool, so worker-memoized resources
+// (forked insertions, vote scratches) persist across phases. Call Close
+// when the flow is done.
+func (c *Characterizer) Fleet() *parallel.Fleet {
+	if !c.cfg.useFleet() {
+		return nil
+	}
+	if c.fleet == nil {
+		c.fleet = parallel.NewFleet(c.cfg.Parallelism)
+	}
+	return c.fleet
+}
+
+// Close releases the flow's persistent resources (the fleet's worker
+// goroutines). Safe to call multiple times; a Characterizer that never ran
+// a multi-worker phase closes trivially.
+func (c *Characterizer) Close() {
+	if c.fleet != nil {
+		c.fleet.Close()
+		c.fleet = nil
+	}
 }
 
 // ATE returns the tester.

@@ -39,6 +39,19 @@ type parallelEvaluator struct {
 
 	evaluations int64 // SUTP searches actually performed
 	budget      int   // full-range search cost, the per-search baseline
+
+	// Fleet mode: the persistent pool and the per-worker insertions that
+	// survive across generations (forked once, reseeded per task, with the
+	// device's execution scratch armed — the per-batch fork and per-call
+	// map costs the batch scheduler pays every generation disappear).
+	fleet      *parallel.Fleet
+	insertions []*ate.ATE
+
+	// resolve scratch reused across batches (fingerprints, batched cache
+	// lookups).
+	fps   []uint64
+	vals  []float64
+	found []bool
 }
 
 func newParallelEvaluator(c *Characterizer) *parallelEvaluator {
@@ -49,6 +62,10 @@ func newParallelEvaluator(c *Characterizer) *parallelEvaluator {
 		spec:      spec,
 		specIsMin: isMin,
 		workers:   c.cfg.Parallelism,
+		fleet:     c.Fleet(),
+	}
+	if e.fleet != nil {
+		e.insertions = make([]*ate.ATE, e.fleet.Size())
 	}
 	e.budget = e.opts.FullRangeBudget()
 	if !c.cfg.DisableMeasurementCache {
@@ -62,6 +79,24 @@ func newParallelEvaluator(c *Characterizer) *parallelEvaluator {
 		}
 	}
 	return e
+}
+
+// insertionFor returns worker w's persistent forked insertion, forking it
+// on first use. Reseed makes each task hermetic, so reusing the insertion
+// across batches is bit-identical to the batch scheduler's fresh forks;
+// the device-level execution scratch (value-identical, see
+// dut.Memory.EnableExecScratch) is what makes the long-lived insertion
+// cheaper than a transient one.
+func (e *parallelEvaluator) insertionFor(w int) (*ate.ATE, error) {
+	if e.insertions[w] == nil {
+		wk, err := e.c.ate.Fork(e.c.cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: forking tester: %w", err)
+		}
+		wk.Device().EnableExecScratch()
+		e.insertions[w] = wk
+	}
+	return e.insertions[w], nil
 }
 
 // measureTask runs one hermetic trip-point search on the forked insertion:
@@ -103,22 +138,36 @@ func (e *parallelEvaluator) FitnessBatch(tests []testgen.Test) ([]float64, error
 	if e.cache != nil {
 		hitsBefore, missBefore, droppedBefore = e.cache.Hits(), e.cache.Misses(), e.cache.Dropped()
 	}
-	groupOf := map[uint64]int{}
+	if cap(e.fps) < len(tests) {
+		e.fps = make([]uint64, len(tests))
+		e.vals = make([]float64, len(tests))
+		e.found = make([]bool, len(tests))
+	}
+	fps := e.fps[:len(tests)]
 	for i, tt := range tests {
-		fp := tt.Fingerprint()
+		fps[i] = tt.Fingerprint()
+	}
+	vals, found := e.vals[:len(tests)], e.found[:len(tests)]
+	if e.cache != nil {
+		// One stripe-grouped batch lookup instead of a lock round-trip per
+		// test; per-key hit/miss accounting is identical to sequential Gets.
+		e.cache.GetBatch(fps, vals, found)
+	}
+	groupOf := map[uint64]int{}
+	for i := range tests {
 		if e.cache != nil {
-			if v, ok := e.cache.Get(fp); ok {
-				out[i] = v
+			if found[i] {
+				out[i] = vals[i]
 				continue
 			}
-			if g, ok := groupOf[fp]; ok {
+			if g, ok := groupOf[fps[i]]; ok {
 				members[g] = append(members[g], i)
 				continue
 			}
-			groupOf[fp] = len(reps)
+			groupOf[fps[i]] = len(reps)
 		}
 		reps = append(reps, i)
-		fpOf = append(fpOf, fp)
+		fpOf = append(fpOf, fps[i])
 		members = append(members, []int{i})
 	}
 	// The resolve loop above is serial, so the cache-effectiveness deltas
@@ -133,14 +182,45 @@ func (e *parallelEvaluator) FitnessBatch(tests []testgen.Test) ([]float64, error
 	results := make([]search.Result, len(reps))
 	taskStats := make([]ate.Stats, len(reps))
 
+	// merge folds task t's outcome into the flow in strict task order: cost
+	// counters (float-sum order must not depend on the worker count),
+	// telemetry, memoization and fan-out to duplicate individuals. Both
+	// schedulers drive the identical sequence of merge calls — the batch
+	// path after its barrier, the fleet path streamed from the in-order
+	// delivery while later tasks are still measuring.
+	merge := func(t int) {
+		e.c.ate.AddStats(taskStats[t])
+		e.c.tel().RecordSearch(results[t].Measurements, e.budget, results[t].Converged)
+		// Non-converged searches still carry information: an all-fail
+		// range means the trip point is beyond the pass-side end
+		// (catastrophically bad, large WCR via the endpoint value); an
+		// all-pass range means huge margin (small WCR).
+		v := wcr.For(results[t].TripPoint, e.spec, e.specIsMin)
+		if e.cache != nil {
+			e.cache.Put(fpOf[t], v)
+		}
+		for _, m := range members[t] {
+			out[m] = v
+		}
+	}
+
 	// Establish the reference trip point serially: the full-range search
 	// (eq. 2) happens once, before any fan-out, so every parallelism level
 	// sees the identical reference.
 	start := 0
 	for ; start < len(reps) && !e.haveRTP; start++ {
-		wk, err := e.c.ate.Fork(e.c.cfg.Seed)
+		var wk *ate.ATE
+		var err error
+		if e.fleet != nil {
+			wk, err = e.insertionFor(0)
+		} else {
+			wk, err = e.c.ate.Fork(e.c.cfg.Seed)
+			if err != nil {
+				err = fmt.Errorf("core: forking tester: %w", err)
+			}
+		}
 		if err != nil {
-			return nil, fmt.Errorf("core: forking tester: %w", err)
+			return nil, err
 		}
 		res, st, err := e.measureTask(wk, tests[reps[start]], e.c.cfg.Seed+e.taskSeq+int64(start))
 		if err != nil {
@@ -154,41 +234,48 @@ func (e *parallelEvaluator) FitnessBatch(tests []testgen.Test) ([]float64, error
 		}
 	}
 
-	// Fan the remaining unique tests across workers, one forked insertion
-	// per worker, results into index-addressed slots.
-	if n := len(reps) - start; n > 0 {
-		err := parallel.Run(n, e.workers, func(int) (*ate.ATE, error) {
-			return e.c.ate.Fork(e.c.cfg.Seed)
-		}, func(wk *ate.ATE, i int) error {
-			t := start + i
-			res, st, err := e.measureTask(wk, tests[reps[t]], e.c.cfg.Seed+e.taskSeq+int64(t))
-			if err != nil {
-				return fmt.Errorf("core: evaluating %s: %w", tests[reps[t]].Name, err)
-			}
-			results[t] = res
-			taskStats[t] = st
-			return nil
-		})
+	measure := func(wk *ate.ATE, i int) error {
+		t := start + i
+		res, st, err := e.measureTask(wk, tests[reps[t]], e.c.cfg.Seed+e.taskSeq+int64(t))
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("core: evaluating %s: %w", tests[reps[t]].Name, err)
 		}
+		results[t] = res
+		taskStats[t] = st
+		return nil
 	}
 
-	// Merge costs in task order (float-sum order must not depend on the
-	// worker count), memoize, and fan values out to duplicate individuals.
-	for t := range reps {
-		e.c.ate.AddStats(taskStats[t])
-		e.c.tel().RecordSearch(results[t].Measurements, e.budget, results[t].Converged)
-		// Non-converged searches still carry information: an all-fail
-		// range means the trip point is beyond the pass-side end
-		// (catastrophically bad, large WCR via the endpoint value); an
-		// all-pass range means huge margin (small WCR).
-		v := wcr.For(results[t].TripPoint, e.spec, e.specIsMin)
-		if e.cache != nil {
-			e.cache.Put(fpOf[t], v)
+	if e.fleet != nil {
+		// Fleet path: the serial prefix merges immediately (it is already
+		// in task order), then the remaining unique tests stream over the
+		// persistent insertions with the merge riding the in-order delivery
+		// — no generation barrier between measurement and selection input.
+		for t := 0; t < start; t++ {
+			merge(t)
 		}
-		for _, m := range members[t] {
-			out[m] = v
+		if n := len(reps) - start; n > 0 {
+			err := parallel.Stream(e.fleet, n, e.insertionFor, measure, func(i int) error {
+				merge(start + i)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Batch path: fan the remaining unique tests across transient
+		// per-batch forks, barrier, then merge — the frozen legacy
+		// scheduler the fleet's speedup is gated against.
+		if n := len(reps) - start; n > 0 {
+			err := parallel.Run(n, e.workers, func(int) (*ate.ATE, error) {
+				return e.c.ate.Fork(e.c.cfg.Seed)
+			}, measure)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for t := range reps {
+			merge(t)
 		}
 	}
 	e.taskSeq += int64(len(reps))

@@ -48,17 +48,33 @@ func (c *Characterizer) ProposeSeeds() ([]Candidate, error) {
 		pool[i].Test = t
 		feats[i] = testgen.ExtractFeatures(t, limits)
 	}
-	err := parallel.Run(len(pool), c.cfg.Parallelism,
-		func(int) (*neural.EnsembleScratch, error) { return ens.NewScratch(), nil },
-		func(s *neural.EnsembleScratch, i int) error {
-			pred, conf, err := ens.VoteInto(s, feats[i])
-			if err != nil {
-				return fmt.Errorf("core: scoring candidate %d: %w", i, err)
+	score := func(s *neural.EnsembleScratch, i int) error {
+		pred, conf, err := ens.VoteInto(s, feats[i])
+		if err != nil {
+			return fmt.Errorf("core: scoring candidate %d: %w", i, err)
+		}
+		pool[i].Severity = c.coder.Severity(pred)
+		pool[i].Confidence = conf
+		return nil
+	}
+	var err error
+	if f := c.Fleet(); f != nil {
+		// Fleet path: vote scratches are memoized per persistent worker, so
+		// repeated proposal rounds (multi-era flows, Table 1) reuse them.
+		if c.voteScratch == nil {
+			c.voteScratch = make([]*neural.EnsembleScratch, f.Size())
+		}
+		err = parallel.RunOn(f, len(pool), func(w int) (*neural.EnsembleScratch, error) {
+			if c.voteScratch[w] == nil {
+				c.voteScratch[w] = ens.NewScratch()
 			}
-			pool[i].Severity = c.coder.Severity(pred)
-			pool[i].Confidence = conf
-			return nil
-		})
+			return c.voteScratch[w], nil
+		}, score)
+	} else {
+		err = parallel.Run(len(pool), c.cfg.Parallelism,
+			func(int) (*neural.EnsembleScratch, error) { return ens.NewScratch(), nil },
+			score)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,12 @@ type LotOptions struct {
 	// Workers is the concurrent tester-insertion count (multi-site
 	// testing); values below 1 select one per CPU.
 	Workers int
+	// Fleet, when non-nil, dispatches the miss fan-out onto this persistent
+	// worker fleet instead of a per-window pool: the worker states already
+	// persist across windows, so on a fleet they also persist across the
+	// caller's other phases. Overrides Workers for sizing. The report is
+	// bit-identical either way.
+	Fleet *parallel.Fleet
 	// BatchSize is the streaming window: how many dies are in flight
 	// between cache resolve and merge. Values below 1 pick 4× the worker
 	// count. Batch size never changes results, only peak memory.
@@ -138,6 +144,9 @@ func ScreenLotStream(param ate.Parameter, tests []testgen.Test, src dut.DieSourc
 	}
 	n := src.Len()
 	nw := parallel.Bound(opts.Workers, n)
+	if opts.Fleet != nil {
+		nw = opts.Fleet.Size()
+	}
 	batch := opts.BatchSize
 	if batch < 1 {
 		batch = 4 * nw
@@ -174,6 +183,9 @@ func ScreenLotStream(param ate.Parameter, tests []testgen.Test, src dut.DieSourc
 		if err != nil {
 			return nil, err
 		}
+		// Dense execution scratch (value-identical, see dut.Memory): the
+		// insertion screens the whole lot, so the arrays amortize.
+		dev.EnableExecScratch()
 		tester := ate.New(dev, baseSeed)
 		tester.Profiler = bank.Profile
 		states[w] = &lotWorker{dev: dev, tester: tester}
@@ -238,9 +250,10 @@ func ScreenLotStream(param ate.Parameter, tests []testgen.Test, src dut.DieSourc
 			missIdx = append(missIdx, j)
 		}
 
-		// Fan the misses over the pool; per-die seeds keep every die's
-		// measurement stream independent of worker count and batch shape.
-		err := parallel.Run(len(missIdx), nw, newWorker, func(wk *lotWorker, k int) error {
+		// Fan the misses over the pool (or the caller's persistent fleet);
+		// per-die seeds keep every die's measurement stream independent of
+		// worker count and batch shape.
+		screenMiss := func(wk *lotWorker, k int) error {
 			j := missIdx[k]
 			dr, cost, err := wk.screen(param, tests, w[j].die, baseSeed+int64(w[j].die.ID))
 			if err != nil {
@@ -248,7 +261,13 @@ func ScreenLotStream(param ate.Parameter, tests []testgen.Test, src dut.DieSourc
 			}
 			w[j].dr, w[j].cost = dr, cost
 			return nil
-		})
+		}
+		var err error
+		if opts.Fleet != nil {
+			err = parallel.RunOn(opts.Fleet, len(missIdx), newWorker, screenMiss)
+		} else {
+			err = parallel.Run(len(missIdx), nw, newWorker, screenMiss)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -87,17 +87,21 @@ func MultiCharacterize(base Config, tester *ate.ATE, params []ate.Parameter) (*M
 		before := tester.Stats().Measurements
 		learned, err := char.Learn()
 		if err != nil {
+			char.Close()
 			return nil, fmt.Errorf("core: learning %s: %w", p, err)
 		}
 		opt, err := char.Optimize()
 		if err != nil {
+			char.Close()
 			return nil, fmt.Errorf("core: optimizing %s: %w", p, err)
 		}
 		worst, ok := opt.Database.Worst()
 		if !ok {
+			char.Close()
 			return nil, fmt.Errorf("core: parameter %s produced no worst case", p)
 		}
 		expl, err := diag.ExplainTest(worst.Test, char.Generator().Limits())
+		char.Close()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// Scheduler equivalence: the persistent fleet (the default) and the frozen
+// batch pool must produce bit-identical results AND byte-identical traces
+// at every parallelism level — the fleet is a pure scheduling change.
+
+// traceOptimizeSched is traceOptimize with an explicit scheduler.
+func traceOptimizeSched(t *testing.T, seed int64, parallelism int, sched string) ([]byte, *OptimizationResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	tel := telemetry.New("fig5", telemetry.NewTracer(&buf))
+	cfg := quickConfig(seed)
+	cfg.Parallelism = parallelism
+	cfg.Scheduler = sched
+	cfg.Telemetry = tel
+	char, err := NewCharacterizer(cfg, newTester(t, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer char.Close()
+	if _, err := char.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := char.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+func TestSchedulerEquivalenceOptimize(t *testing.T) {
+	for _, parallelism := range []int{1, 2, 8} {
+		batchTrace, batchRes := traceOptimizeSched(t, 91, parallelism, SchedulerBatch)
+		fleetTrace, fleetRes := traceOptimizeSched(t, 91, parallelism, SchedulerFleet)
+		if len(batchTrace) == 0 {
+			t.Fatal("batch run produced an empty trace")
+		}
+		if !bytes.Equal(batchTrace, fleetTrace) {
+			t.Errorf("parallelism=%d: fleet trace differs from batch (%d vs %d bytes)",
+				parallelism, len(fleetTrace), len(batchTrace))
+		}
+		if fleetRes.GA.Best.Fitness != batchRes.GA.Best.Fitness {
+			t.Errorf("parallelism=%d: best fitness fleet %g, batch %g",
+				parallelism, fleetRes.GA.Best.Fitness, batchRes.GA.Best.Fitness)
+		}
+		if fleetRes.GA.Evaluations != batchRes.GA.Evaluations ||
+			fleetRes.Measurements != batchRes.Measurements {
+			t.Errorf("parallelism=%d: evaluations/measurements fleet %d/%d, batch %d/%d",
+				parallelism, fleetRes.GA.Evaluations, fleetRes.Measurements,
+				batchRes.GA.Evaluations, batchRes.Measurements)
+		}
+		if fleetRes.CacheHits != batchRes.CacheHits || fleetRes.CacheMisses != batchRes.CacheMisses {
+			t.Errorf("parallelism=%d: cache fleet %d/%d, batch %d/%d",
+				parallelism, fleetRes.CacheHits, fleetRes.CacheMisses,
+				batchRes.CacheHits, batchRes.CacheMisses)
+		}
+		fb, bb := fleetRes.Database.Entries, batchRes.Database.Entries
+		if len(fb) != len(bb) {
+			t.Fatalf("parallelism=%d: database sizes fleet %d, batch %d", parallelism, len(fb), len(bb))
+		}
+		for i := range bb {
+			if fb[i].WCR != bb[i].WCR || fb[i].Test.Name != bb[i].Test.Name {
+				t.Fatalf("parallelism=%d: database[%d] fleet %s/%g, batch %s/%g",
+					parallelism, i, fb[i].Test.Name, fb[i].WCR, bb[i].Test.Name, bb[i].WCR)
+			}
+		}
+	}
+}
+
+func TestSchedulerEquivalenceTable1(t *testing.T) {
+	run := func(sched string) (*Table1, []byte) {
+		var buf bytes.Buffer
+		tel := telemetry.New("table1", telemetry.NewTracer(&buf))
+		cfg := Table1Config{Flow: quickConfig(59), RandomTests: 30, MarchWindowWords: 40}
+		cfg.Flow.Parallelism = 4
+		cfg.Flow.Scheduler = sched
+		cfg.Flow.Telemetry = tel
+		tab, err := RunTable1(cfg, newTester(t, 59))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return tab, buf.Bytes()
+	}
+	batch, batchTrace := run(SchedulerBatch)
+	fleet, fleetTrace := run(SchedulerFleet)
+	if !bytes.Equal(batchTrace, fleetTrace) {
+		t.Errorf("Table 1 trace differs between schedulers (%d vs %d bytes)",
+			len(fleetTrace), len(batchTrace))
+	}
+	if len(batch.Rows) != len(fleet.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(batch.Rows), len(fleet.Rows))
+	}
+	for i := range batch.Rows {
+		if batch.Rows[i] != fleet.Rows[i] {
+			t.Errorf("row %d differs:\nbatch %+v\nfleet %+v", i, batch.Rows[i], fleet.Rows[i])
+		}
+	}
+	if batch.CacheHits != fleet.CacheHits || batch.CacheMisses != fleet.CacheMisses {
+		t.Errorf("cache stats differ: batch %d/%d, fleet %d/%d",
+			batch.CacheHits, batch.CacheMisses, fleet.CacheHits, fleet.CacheMisses)
+	}
+}
+
+func TestSchedulerEquivalenceReplicated(t *testing.T) {
+	run := func(sched string) *ReplicationReport {
+		cfg := smallTable1Config(41)
+		cfg.Flow.Scheduler = sched
+		rep, err := RunTable1ReplicatedParallel(cfg, 41, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	batch := run(SchedulerBatch)
+	fleet := run(SchedulerFleet)
+	if batch.OrderingHeld != fleet.OrderingHeld || batch.NNGAInWeakness != fleet.NNGAInWeakness {
+		t.Errorf("qualitative counts differ: batch %d/%d, fleet %d/%d",
+			batch.OrderingHeld, batch.NNGAInWeakness, fleet.OrderingHeld, fleet.NNGAInWeakness)
+	}
+	if len(batch.Rows) != len(fleet.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(batch.Rows), len(fleet.Rows))
+	}
+	for i := range batch.Rows {
+		if batch.Rows[i] != fleet.Rows[i] {
+			t.Errorf("row %d differs:\nbatch %+v\nfleet %+v", i, batch.Rows[i], fleet.Rows[i])
+		}
+	}
+}
+
+func TestConfigRejectsUnknownScheduler(t *testing.T) {
+	cfg := quickConfig(1)
+	cfg.Scheduler = "warp"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	for _, ok := range []string{"", SchedulerFleet, SchedulerBatch} {
+		cfg.Scheduler = ok
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scheduler %q rejected: %v", ok, err)
+		}
+	}
+}
+
+func TestCharacterizerCloseIdempotent(t *testing.T) {
+	char, err := NewCharacterizer(quickConfig(7), newTester(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := char.Fleet(); f == nil {
+		t.Fatal("default scheduler returned a nil fleet")
+	}
+	char.Close()
+	char.Close()
+	// Batch scheduler never creates a fleet.
+	cfg := quickConfig(7)
+	cfg.Scheduler = SchedulerBatch
+	bchar, err := NewCharacterizer(cfg, newTester(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bchar.Fleet() != nil {
+		t.Error("batch scheduler returned a fleet")
+	}
+	bchar.Close()
+}

@@ -71,6 +71,7 @@ func RunSession(cfg SessionConfig, tester *ate.ATE) (*SessionResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer char.Close()
 	res := &SessionResult{}
 
 	if res.Learning, err = char.Learn(); err != nil {

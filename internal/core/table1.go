@@ -173,6 +173,7 @@ func RunTable1(cfg Table1Config, tester *ate.ATE) (*Table1, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer char.Close()
 	if _, err := char.Learn(); err != nil {
 		return nil, err
 	}

@@ -103,6 +103,55 @@ type Memory struct {
 	// permanent eFuse/laser repair, not volatile configuration.
 	rowRemap   map[int]uint32
 	sparesUsed []int
+
+	// scratch, when enabled, replaces ExecuteObserved's per-call maps with
+	// dense reusable arrays (see EnableExecScratch).
+	scratch *execScratch
+}
+
+// execScratch is the reusable observation state of one execution: dense
+// per-(bank,row) activation counts with a touched list for O(touched)
+// clearing, and a per-address epoch stamp that dedupes failing addresses
+// without a per-call map. Consumption is order-independent (the row counts
+// feed a max reduction, the stamps a first-seen check), so results are
+// bit-identical to the map-based path.
+type execScratch struct {
+	rowHits  []int32  // [banks*rows] activation counts of the current run
+	rowsHit  []int32  // touched rowHits slots, cleared at the next run
+	failSeen []uint32 // per-address stamp; == epoch means seen this run
+	epoch    uint32
+}
+
+// EnableExecScratch arms the persistent execution scratch: every subsequent
+// Execute reuses one dense workspace instead of allocating two maps per
+// call. Results are bit-identical with or without it (pinned by the
+// exec-scratch equivalence property test); the trade is a fixed ~20 KiB of
+// per-device memory, which is why it is opt-in — long-lived worker
+// insertions (fleet workers, lot screeners) enable it, transient per-batch
+// forks keep the allocation-free construction.
+func (m *Memory) EnableExecScratch() {
+	if m.scratch != nil {
+		return
+	}
+	m.scratch = &execScratch{
+		rowHits:  make([]int32, m.geom.Banks*m.geom.Rows),
+		failSeen: make([]uint32, m.geom.Words()),
+	}
+}
+
+// begin readies the scratch for one execution: clear the previous run's
+// touched row counts and advance the fail-stamp epoch (clearing stamps only
+// on the rare wrap).
+func (sc *execScratch) begin() {
+	for _, slot := range sc.rowsHit {
+		sc.rowHits[slot] = 0
+	}
+	sc.rowsHit = sc.rowsHit[:0]
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.failSeen)
+		sc.epoch = 1
+	}
 }
 
 // NewMemory allocates a zero-initialized array over the given geometry.
@@ -234,8 +283,15 @@ func (m *Memory) ExecuteObserved(seq testgen.Sequence, vddEff float64, observe f
 		ssnSustained              float64
 		failSeen                  map[uint32]bool
 	)
-	rowHits = make(map[int]int)
-	failSeen = make(map[uint32]bool)
+	// With the persistent scratch enabled the two per-call maps are replaced
+	// by its dense arrays; the aggregation below is identical either way.
+	sc := m.scratch
+	if sc != nil {
+		sc.begin()
+	} else {
+		rowHits = make(map[int]int)
+		failSeen = make(map[uint32]bool)
+	}
 
 	for i, v := range seq {
 		addr := v.Addr % words
@@ -279,7 +335,12 @@ func (m *Memory) ExecuteObserved(seq testgen.Sequence, vddEff float64, observe f
 				if fr.FirstMismatch < 0 {
 					fr.FirstMismatch = i
 				}
-				if !failSeen[addr] {
+				if sc != nil {
+					if sc.failSeen[addr] != sc.epoch {
+						sc.failSeen[addr] = sc.epoch
+						fr.FailingAddrs = append(fr.FailingAddrs, addr)
+					}
+				} else if !failSeen[addr] {
 					failSeen[addr] = true
 					fr.FailingAddrs = append(fr.FailingAddrs, addr)
 				}
@@ -347,7 +408,15 @@ func (m *Memory) ExecuteObserved(seq testgen.Sequence, vddEff float64, observe f
 				conflicts++
 			}
 			m.lastRowInBank[bank] = row
-			rowHits[bank*m.geom.Rows+row]++
+			if sc != nil {
+				slot := int32(bank*m.geom.Rows + row)
+				if sc.rowHits[slot] == 0 {
+					sc.rowsHit = append(sc.rowsHit, slot)
+				}
+				sc.rowHits[slot]++
+			} else {
+				rowHits[bank*m.geom.Rows+row]++
+			}
 		}
 		_ = col
 
@@ -369,9 +438,17 @@ func (m *Memory) ExecuteObserved(seq testgen.Sequence, vddEff float64, observe f
 	act.CouplingScore = clamp01(coupling / n * 4)
 	act.ReadRatio = float64(reads) / n
 	maxRow := 0
-	for _, c := range rowHits {
-		if c > maxRow {
-			maxRow = c
+	if sc != nil {
+		for _, slot := range sc.rowsHit {
+			if c := int(sc.rowHits[slot]); c > maxRow {
+				maxRow = c
+			}
+		}
+	} else {
+		for _, c := range rowHits {
+			if c > maxRow {
+				maxRow = c
+			}
 		}
 	}
 	act.RowHammer = clamp01(float64(maxRow) / n)

@@ -1,6 +1,8 @@
 package dut
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -267,5 +269,93 @@ func TestAddressesWrapModuloWords(t *testing.T) {
 	}
 	if m.Peek(3) != 0xAB {
 		t.Error("address did not wrap modulo array size")
+	}
+}
+
+// randomSeq draws a random vector sequence biased toward reads of low
+// addresses, so weak cells actually fire and dedup paths are exercised.
+func randomSeq(rng *rand.Rand, words uint32, n int) testgen.Sequence {
+	seq := make(testgen.Sequence, n)
+	for i := range seq {
+		var op testgen.OpKind
+		switch rng.Intn(10) {
+		case 0:
+			op = testgen.OpNop
+		case 1, 2, 3, 4:
+			op = testgen.OpWrite
+		default:
+			op = testgen.OpRead
+		}
+		addr := uint32(rng.Intn(int(words) + 7)) // a few wrap past the array
+		if rng.Intn(3) == 0 {
+			addr = uint32(rng.Intn(16)) // hammer the weak-cell region
+		}
+		seq[i] = testgen.Vector{Op: op, Addr: addr, Data: rng.Uint32()}
+	}
+	return seq
+}
+
+// TestExecScratchEquivalenceProperty pins the contract EnableExecScratch
+// documents: the dense-scratch execution path is bit-identical to the
+// map-based one — same Activity, same functional result, same failing
+// address order — across random sequences reusing one scratch run after run.
+func TestExecScratchEquivalenceProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		die := NewDie(int(seed), CornerTypical,
+			WithWeakCell(3, 1.75), WithWeakCell(9, 1.9), WithWeakCell(14, 1.6))
+		plain, err := NewMemory(DefaultGeometry(), die)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratched, err := NewMemory(DefaultGeometry(), die)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratched.EnableExecScratch()
+		words := plain.Geometry().Words()
+		for run := 0; run < 8; run++ {
+			seq := randomSeq(rng, words, 1+rng.Intn(300))
+			vdd := 1.4 + rng.Float64()*0.6
+			actP, frP := plain.Execute(seq, vdd)
+			actS, frS := scratched.Execute(seq, vdd)
+			if actP != actS {
+				t.Fatalf("seed %d run %d: activity diverged\nplain   %+v\nscratch %+v", seed, run, actP, actS)
+			}
+			if frP.ReadCount != frS.ReadCount || frP.Mismatches != frS.Mismatches ||
+				frP.FirstMismatch != frS.FirstMismatch ||
+				!reflect.DeepEqual(frP.FailingAddrs, frS.FailingAddrs) {
+				t.Fatalf("seed %d run %d: functional result diverged\nplain   %+v\nscratch %+v", seed, run, frP, frS)
+			}
+		}
+	}
+}
+
+// TestExecScratchEpochWrap forces the 32-bit fail-stamp epoch to wrap and
+// checks dedup still works: a stale stamp from epoch N must not suppress a
+// failing address in the wrapped epoch.
+func TestExecScratchEpochWrap(t *testing.T) {
+	die := NewDie(0, CornerTypical, WithWeakCell(5, 1.9))
+	m, err := NewMemory(DefaultGeometry(), die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableExecScratch()
+	seq := testgen.Sequence{
+		{Op: testgen.OpWrite, Addr: 5, Data: 1},
+		{Op: testgen.OpRead, Addr: 5},
+		{Op: testgen.OpRead, Addr: 5},
+	}
+	_, fr := m.Execute(seq, 1.5)
+	if len(fr.FailingAddrs) != 1 {
+		t.Fatalf("before wrap: failing addrs = %v", fr.FailingAddrs)
+	}
+	m.scratch.epoch = ^uint32(0) // next begin() wraps to 0 and must re-arm
+	_, fr = m.Execute(seq, 1.5)
+	if len(fr.FailingAddrs) != 1 || fr.FailingAddrs[0] != 5 {
+		t.Fatalf("after wrap: failing addrs = %v", fr.FailingAddrs)
+	}
+	if m.scratch.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", m.scratch.epoch)
 	}
 }

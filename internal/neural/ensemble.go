@@ -37,12 +37,30 @@ func NewEnsemble(seed int64, n int, sizes []int, data Dataset, cfg TrainConfig) 
 // its own member seed and read the shared dataset read-only, so the trained
 // weights are bit-identical to the serial ones for any worker count.
 func NewEnsembleParallel(seed int64, n int, sizes []int, data Dataset, cfg TrainConfig, workers int) (*Ensemble, []TrainReport, error) {
+	return newEnsembleWith(seed, n, sizes, data, cfg, func(count int, body func(i int) error) error {
+		return parallel.ForEach(count, workers, body)
+	})
+}
+
+// NewEnsembleOn is NewEnsembleParallel on a persistent fleet: member
+// training dispatches to the fleet's long-lived workers, so a flow that
+// also fans measurement work shares one pool across phases instead of
+// forking a fresh one per ensemble. Weights are bit-identical to the serial
+// and batch-pool forms (each member derives solely from its member seed).
+func NewEnsembleOn(f *parallel.Fleet, seed int64, n int, sizes []int, data Dataset, cfg TrainConfig) (*Ensemble, []TrainReport, error) {
+	return newEnsembleWith(seed, n, sizes, data, cfg, func(count int, body func(i int) error) error {
+		return parallel.ForEachOn(f, count, body)
+	})
+}
+
+// newEnsembleWith trains the members through the given fan-out primitive.
+func newEnsembleWith(seed int64, n int, sizes []int, data Dataset, cfg TrainConfig, forEach func(n int, body func(i int) error) error) (*Ensemble, []TrainReport, error) {
 	if n <= 0 {
 		return nil, nil, fmt.Errorf("neural: ensemble size %d must be positive", n)
 	}
 	members := make([]*Network, n)
 	reports := make([]TrainReport, n)
-	err := parallel.ForEach(n, workers, func(i int) error {
+	err := forEach(n, func(i int) error {
 		memberSeed := seed + int64(i)*7919
 		net, err := New(memberSeed, sizes...)
 		if err != nil {
@@ -103,6 +121,31 @@ type EnsembleScratch struct {
 	nets []*Scratch
 	outs []float64 // row-major [members][Outputs()] member predictions
 	avg  []float64
+
+	// res is the append-only result arena behind Vote/Predict: each call
+	// takes a capacity-clipped sub-slice for its returned prediction, so the
+	// per-call copy allocation amortizes to one chunk allocation per
+	// voteArenaChunk floats. Exhausted chunks are abandoned, never recycled,
+	// so escaped results stay valid forever.
+	res []float64
+}
+
+// voteArenaChunk is the result-arena refill size in float64s (a few hundred
+// small predictions per allocation).
+const voteArenaChunk = 512
+
+// takeResult copies p into the arena and returns the stable copy.
+func (s *EnsembleScratch) takeResult(p []float64) []float64 {
+	if cap(s.res)-len(s.res) < len(p) {
+		n := voteArenaChunk
+		if n < len(p) {
+			n = len(p)
+		}
+		s.res = make([]float64, 0, n)
+	}
+	off := len(s.res)
+	s.res = append(s.res, p...)
+	return s.res[off:len(s.res):len(s.res)]
 }
 
 // NewScratch allocates a voting workspace sized for this ensemble.
@@ -172,7 +215,10 @@ func (e *Ensemble) Vote(input []float64) (avg []float64, confidence float64, err
 		e.putScratch(s)
 		return nil, 0, err
 	}
-	avg = append([]float64(nil), p...)
+	// Arena-copy instead of a fresh allocation per call: the pooled
+	// scratch's result chunks amortize the escape to ~1 allocation per
+	// voteArenaChunk floats (the ensemble-predict kernel gate pins this).
+	avg = s.takeResult(p)
 	e.putScratch(s)
 	return avg, conf, nil
 }

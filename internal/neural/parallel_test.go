@@ -3,6 +3,8 @@ package neural
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func TestEnsembleParallelBitIdenticalToSerial(t *testing.T) {
@@ -70,5 +72,52 @@ func TestEnsembleParallelMatchesLegacyNewEnsemble(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Error("parallel ensemble weights differ from NewEnsemble")
+	}
+}
+
+func TestEnsembleOnMatchesParallel(t *testing.T) {
+	// Fleet-hosted training is a pure scheduling change: weights and member
+	// reports are bit-identical to the batch-pool constructor at every fleet
+	// size, including a fleet reused across two trainings.
+	data := syntheticRegression(61, 140)
+	cfg := DefaultTrainConfig(61)
+	cfg.Epochs = 30
+
+	serialize := func(e *Ensemble) string {
+		var b bytes.Buffer
+		if err := e.Save(&b, nil); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	ref, refReports, err := NewEnsembleParallel(61, 4, []int{3, 6, 1}, data, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialize(ref)
+
+	for _, workers := range []int{1, 2, 8} {
+		f := parallel.NewFleet(workers)
+		for round := 0; round < 2; round++ { // same fleet, two trainings
+			e, reports, err := NewEnsembleOn(f, 61, 4, []int{3, 6, 1}, data, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := serialize(e); got != want {
+				t.Errorf("fleet=%d round %d: trained weights differ from batch pool", workers, round)
+			}
+			if len(reports) != len(refReports) {
+				t.Fatalf("fleet=%d reports = %d, want %d", workers, len(reports), len(refReports))
+			}
+			for i := range reports {
+				if reports[i].TrainErr != refReports[i].TrainErr ||
+					reports[i].ValErr != refReports[i].ValErr ||
+					reports[i].Epochs != refReports[i].Epochs {
+					t.Errorf("fleet=%d member %d report differs: %+v vs %+v",
+						workers, i, reports[i], refReports[i])
+				}
+			}
+		}
+		f.Close()
 	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -92,6 +93,15 @@ type Progress struct {
 	ndPoolRuns   atomic.Int64
 	ndPoolTasks  atomic.Int64
 	ndMaxWorkers atomic.Int64
+
+	// Scheduling-dependent fleet stream stats (persistent-pool scheduler):
+	// run-ahead depth is a high-water mark, utilization and overlap are the
+	// latest stream's ratios (stored as float bits).
+	ndFleetStreams  atomic.Int64
+	ndFleetTasks    atomic.Int64
+	ndFleetMaxAhead atomic.Int64
+	ndFleetUtil     atomic.Uint64
+	ndFleetOverlap  atomic.Uint64
 }
 
 var _ telemetry.RunObserver = (*Progress)(nil)
@@ -237,6 +247,37 @@ func (p *Progress) PoolRun(workers int, tasks int) {
 			break
 		}
 	}
+}
+
+// FleetStream records one fleet stream drain (the persistent-pool
+// scheduler's unit of fan-out). Queue depth, worker occupancy and pipeline
+// overlap are scheduling artifacts, so like PoolRun these land in atomic
+// side counters served under non_deterministic, never in the snapshot.
+func (p *Progress) FleetStream(workers, tasks, maxRunAhead int, utilization, overlapRatio float64) {
+	if p == nil {
+		return
+	}
+	p.ndFleetStreams.Add(1)
+	p.ndFleetTasks.Add(int64(tasks))
+	for {
+		cur := p.ndFleetMaxAhead.Load()
+		if int64(maxRunAhead) <= cur || p.ndFleetMaxAhead.CompareAndSwap(cur, int64(maxRunAhead)) {
+			break
+		}
+	}
+	p.ndFleetUtil.Store(math.Float64bits(utilization))
+	p.ndFleetOverlap.Store(math.Float64bits(overlapRatio))
+}
+
+// FleetStats returns the scheduling-dependent fleet counters: stream count,
+// total streamed tasks, the run-ahead high-water mark and the most recent
+// stream's worker-utilization and pipeline-overlap ratios.
+func (p *Progress) FleetStats() (streams, tasks, maxRunAhead int64, utilization, overlapRatio float64) {
+	if p == nil {
+		return 0, 0, 0, 0, 0
+	}
+	return p.ndFleetStreams.Load(), p.ndFleetTasks.Load(), p.ndFleetMaxAhead.Load(),
+		math.Float64frombits(p.ndFleetUtil.Load()), math.Float64frombits(p.ndFleetOverlap.Load())
 }
 
 // Done freezes the run in its final state. Nil-safe.

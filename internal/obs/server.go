@@ -176,6 +176,14 @@ type progressND struct {
 	PoolRuns      int64   `json:"pool_runs"`
 	PoolTasks     int64   `json:"pool_tasks"`
 	PoolMaxW      int64   `json:"pool_max_workers"`
+	// Fleet scheduler stream stats: drained streams, tasks streamed, the
+	// out-of-order run-ahead high-water mark (queue depth) and the latest
+	// stream's worker-utilization / pipeline-overlap ratios.
+	FleetStreams int64   `json:"fleet_streams,omitempty"`
+	FleetTasks   int64   `json:"fleet_tasks,omitempty"`
+	FleetDepth   int64   `json:"fleet_queue_depth,omitempty"`
+	FleetUtil    float64 `json:"fleet_utilization,omitempty"`
+	FleetOverlap float64 `json:"fleet_overlap_ratio,omitempty"`
 	// DiesPerSecond is the lot-screening throughput so far (the "die"
 	// item counter over uptime) — wall-clock derived, hence ND.
 	DiesPerSecond float64 `json:"dies_per_second,omitempty"`
@@ -183,6 +191,7 @@ type progressND struct {
 
 func (s *Server) payload() progressPayload {
 	runs, tasks, maxw := s.opts.Progress.PoolStats()
+	streams, ftasks, depth, util, overlap := s.opts.Progress.FleetStats()
 	snap := s.opts.Progress.Current()
 	uptime := time.Since(s.started).Seconds()
 	var dps float64
@@ -196,6 +205,11 @@ func (s *Server) payload() progressPayload {
 			PoolRuns:      runs,
 			PoolTasks:     tasks,
 			PoolMaxW:      maxw,
+			FleetStreams:  streams,
+			FleetTasks:    ftasks,
+			FleetDepth:    depth,
+			FleetUtil:     util,
+			FleetOverlap:  overlap,
 			DiesPerSecond: dps,
 		},
 	}

@@ -16,8 +16,6 @@ package parallel
 import (
 	"fmt"
 	"runtime"
-	"runtime/debug"
-	"sync"
 	"sync/atomic"
 )
 
@@ -111,90 +109,19 @@ func (p TaskPanic) Unwrap() error {
 // racing): the panic is caught, the remaining tasks still run, and Run
 // re-panics with a TaskPanic carrying the lowest panicking task index and
 // its original panic value.
+//
+// Run is the one-shot compatibility form of the persistent Fleet: it
+// executes the batch on a transient fleet sized Bound(workers, n) that is
+// closed when the batch drains. Phase engines that fan out repeatedly
+// should hold a Fleet and use Stream/RunOn/ForEachOn so worker resources
+// survive between batches.
 func Run[W any](n, workers int, newWorker func(w int) (W, error), task func(wk W, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	obs := observer.Load()
-	nw := Bound(workers, n)
-	runTask := func(wk W, i int, panics []any, stacks [][]byte) (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				panics[i] = r
-				stacks[i] = debug.Stack()
-			}
-		}()
-		return task(wk, i)
-	}
-	if nw == 1 {
-		wk, err := newWorker(0)
-		if err != nil {
-			return err
-		}
-		panics := make([]any, n)
-		stacks := make([][]byte, n)
-		for i := 0; i < n; i++ {
-			err := runTask(wk, i, panics, stacks)
-			if panics[i] != nil {
-				panic(TaskPanic{Task: i, Value: panics[i], Stack: stacks[i]})
-			}
-			if err != nil {
-				return err
-			}
-		}
-		if obs != nil {
-			(*obs)(1, []int{n})
-		}
-		return nil
-	}
-
-	taskErrs := make([]error, n)
-	panics := make([]any, n)
-	stacks := make([][]byte, n)
-	workerErrs := make([]error, nw)
-	taskCounts := make([]int, nw)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wk, err := newWorker(w)
-			if err != nil {
-				workerErrs[w] = err
-				return
-			}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				taskCounts[w]++
-				taskErrs[i] = runTask(wk, i, panics, stacks)
-			}
-		}(w)
-	}
-	wg.Wait()
-	for i, r := range panics {
-		if r != nil {
-			panic(TaskPanic{Task: i, Value: r, Stack: stacks[i]})
-		}
-	}
-	if obs != nil {
-		(*obs)(nw, taskCounts)
-	}
-
-	for _, err := range workerErrs {
-		if err != nil {
-			return err
-		}
-	}
-	for _, err := range taskErrs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	f := NewFleet(Bound(workers, n))
+	defer f.Close()
+	return Stream(f, n, newWorker, task, nil)
 }
 
 // ForEach runs fn(i) for every i in [0, n) on the bounded pool, for tasks

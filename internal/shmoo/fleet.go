@@ -1,0 +1,109 @@
+package shmoo
+
+import (
+	"repro/internal/ate"
+	"repro/internal/parallel"
+	"repro/internal/testgen"
+)
+
+// Fleet sweeps. Same hermetic-task contract as the parallel sweeps — every
+// task reseeds its insertion with a seed derived only from the task index,
+// so the plot and cost counters are bit-identical to the serial, batch-pool
+// and fleet forms — but the fan-out dispatches onto a persistent fleet and
+// the per-test merges stream from the in-order delivery while later tests
+// are still measuring, instead of waiting for a whole-overlay barrier.
+
+// AddTestsOn is AddTestsParallel on a persistent fleet: one task per test,
+// merged into the overlay in test order as each delivery arrives.
+func (p *Plot) AddTestsOn(f *parallel.Fleet, a *ate.ATE, tests []testgen.Test, baseSeed int64) error {
+	return p.addTestsOn(f, a, tests, baseSeed, func(wk *ate.ATE) PointFunc { return wk.MeasureShmooPoint })
+}
+
+// AddFmaxTestsOn is AddFmaxTestsParallel on a persistent fleet.
+func (p *Plot) AddFmaxTestsOn(f *parallel.Fleet, a *ate.ATE, tests []testgen.Test, baseSeed int64) error {
+	return p.addTestsOn(f, a, tests, baseSeed, func(wk *ate.ATE) PointFunc { return wk.MeasureFmaxShmooPoint })
+}
+
+func (p *Plot) addTestsOn(f *parallel.Fleet, a *ate.ATE, tests []testgen.Test, baseSeed int64, point forkPoint) error {
+	grids := make([][]bool, len(tests))
+	costs := make([]ate.Stats, len(tests))
+	return parallel.Stream(f, len(tests), func(int) (*ate.ATE, error) {
+		wk, err := a.Fork(baseSeed)
+		if err != nil {
+			return nil, err
+		}
+		// Value-identical dense execution scratch: the fleet worker's
+		// insertion lives for the whole overlay, so the arrays amortize.
+		wk.Device().EnableExecScratch()
+		return wk, nil
+	}, func(wk *ate.ATE, i int) error {
+		wk.Reseed(baseSeed + int64(i))
+		cells, err := p.sweepGrid(point(wk), tests[i], 0, p.Y.Steps)
+		if err != nil {
+			return err
+		}
+		grids[i] = cells
+		costs[i] = wk.Stats()
+		return nil
+	}, func(i int) error {
+		a.AddStats(costs[i])
+		p.merge(grids[i])
+		grids[i] = nil
+		if p.OnTest != nil {
+			p.OnTest(p.Tests, costs[i])
+		}
+		p.Tests++
+		return nil
+	})
+}
+
+// AddTestsWavefront sweeps every test as a wavefront of per-(test,row)
+// cells instead of whole-test tasks: task k covers row k%Y.Steps of test
+// k/Y.Steps and reseeds with baseSeed + k, so for a single test the plot
+// and merged cost counters equal AddTestParallel's (whose row seeds are
+// baseSeed + rowIndex) — the row barrier between tests just disappears.
+// Like AddTestParallel, every row re-loads the pattern on its insertion, so
+// Profiles cost grows with Y.Steps compared to the whole-test sweeps.
+func (p *Plot) AddTestsWavefront(f *parallel.Fleet, a *ate.ATE, tests []testgen.Test, baseSeed int64) error {
+	ys := p.Y.Steps
+	n := len(tests) * ys
+	rows := make([][]bool, n)
+	costs := make([]ate.Stats, n)
+	var total ate.Stats
+	return parallel.Stream(f, n, func(int) (*ate.ATE, error) {
+		wk, err := a.Fork(baseSeed)
+		if err != nil {
+			return nil, err
+		}
+		wk.Device().EnableExecScratch()
+		return wk, nil
+	}, func(wk *ate.ATE, k int) error {
+		ti, yi := k/ys, k%ys
+		wk.Reseed(baseSeed + int64(k))
+		cells, err := p.sweepGrid(wk.MeasureShmooPoint, tests[ti], yi, yi+1)
+		if err != nil {
+			return err
+		}
+		rows[k] = cells
+		costs[k] = wk.Stats()
+		return nil
+	}, func(k int) error {
+		yi := k % ys
+		a.AddStats(costs[k])
+		total.Add(costs[k])
+		for xi := 0; xi < p.X.Steps; xi++ {
+			if rows[k][yi*p.X.Steps+xi] {
+				p.passCount[yi*p.X.Steps+xi]++
+			}
+		}
+		rows[k] = nil
+		if yi == ys-1 {
+			if p.OnTest != nil {
+				p.OnTest(p.Tests, total)
+			}
+			p.Tests++
+			total = ate.Stats{}
+		}
+		return nil
+	})
+}

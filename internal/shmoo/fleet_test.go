@@ -1,0 +1,245 @@
+package shmoo
+
+import (
+	"testing"
+
+	"repro/internal/ate"
+	"repro/internal/parallel"
+	"repro/internal/testgen"
+)
+
+// The fleet sweeps are pure scheduling changes: same plot, same merged cost
+// counters, same observer sequence as the batch-pool forms, at every fleet
+// size — with measurement noise ON so the RNG discipline is actually load-
+// bearing.
+
+func TestAddTestsOnMatchesBatchPool(t *testing.T) {
+	tester, gen := rig(t)
+	tester.NoiseFraction = 0.25
+	tests := gen.Batch(6)
+	x, y := smallAxes()
+
+	reference := func() (string, int64) {
+		p, err := NewPlot(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fork, err := tester.Fork(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddTestsParallel(fork, tests, 900, 4); err != nil {
+			t.Fatal(err)
+		}
+		return p.Render(), fork.Stats().Measurements
+	}
+	wantGrid, wantCost := reference()
+
+	for _, workers := range []int{1, 2, 8} {
+		p, err := NewPlot(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fork, err := tester.Fork(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := parallel.NewFleet(workers)
+		if err := p.AddTestsOn(f, fork, tests, 900); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if got := p.Render(); got != wantGrid {
+			t.Errorf("fleet=%d grid differs from batch pool:\n%s\nvs\n%s", workers, got, wantGrid)
+		}
+		if got := fork.Stats().Measurements; got != wantCost {
+			t.Errorf("fleet=%d merged %d measurements, batch pool %d", workers, got, wantCost)
+		}
+		if p.Tests != len(tests) {
+			t.Errorf("fleet=%d Tests = %d, want %d", workers, p.Tests, len(tests))
+		}
+	}
+}
+
+func TestAddTestsOnReusesFleetAcrossOverlays(t *testing.T) {
+	tester, gen := rig(t)
+	tester.NoiseFraction = 0.25
+	tests := gen.Batch(4)
+	x, y := smallAxes()
+
+	want, err := NewPlot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFork, err := tester.Fork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.AddTestsParallel(refFork, tests[:2], 77, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.AddTestsParallel(refFork, tests[2:], 78, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := NewPlot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := tester.Fork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := parallel.NewFleet(3)
+	defer f.Close()
+	// Two overlays on the same fleet: the workers (and their reused
+	// insertions) survive the stage boundary.
+	if err := got.AddTestsOn(f, fork, tests[:2], 77); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.AddTestsOn(f, fork, tests[2:], 78); err != nil {
+		t.Fatal(err)
+	}
+	if g, w := got.Render(), want.Render(); g != w {
+		t.Errorf("persistent-fleet overlay differs:\n%s\nvs\n%s", g, w)
+	}
+	if g, w := fork.Stats().Measurements, refFork.Stats().Measurements; g != w {
+		t.Errorf("persistent-fleet cost %d, batch pool %d", g, w)
+	}
+}
+
+func TestAddFmaxTestsOnMatchesBatchPool(t *testing.T) {
+	tester, gen := rig(t)
+	tester.NoiseFraction = 0.25
+	tests := gen.Batch(3)
+	x := Axis{Label: "F (MHz)", Min: 40, Max: 120, Steps: 9}
+	_, y := smallAxes()
+
+	want, err := NewPlot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFork, err := tester.Fork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.AddFmaxTestsParallel(refFork, tests, 55, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := NewPlot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := tester.Fork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := parallel.NewFleet(4)
+	defer f.Close()
+	if err := got.AddFmaxTestsOn(f, fork, tests, 55); err != nil {
+		t.Fatal(err)
+	}
+	if g, w := got.Render(), want.Render(); g != w {
+		t.Errorf("fmax fleet overlay differs:\n%s\nvs\n%s", g, w)
+	}
+	if g, w := fork.Stats().Measurements, refFork.Stats().Measurements; g != w {
+		t.Errorf("fmax fleet cost %d, batch pool %d", g, w)
+	}
+}
+
+func TestWavefrontSingleTestMatchesRowParallel(t *testing.T) {
+	tester, gen := rig(t)
+	tester.NoiseFraction = 0.25
+	tt := gen.Next()
+	x, y := smallAxes()
+
+	want, err := NewPlot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFork, err := tester.Fork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.AddTestParallel(refFork, tt, 31, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		got, err := NewPlot(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fork, err := tester.Fork(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := parallel.NewFleet(workers)
+		err = got.AddTestsWavefront(f, fork, []testgen.Test{tt}, 31)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := got.Render(), want.Render(); g != w {
+			t.Errorf("fleet=%d wavefront grid differs from row-parallel:\n%s\nvs\n%s", workers, g, w)
+		}
+		if g, w := fork.Stats().Measurements, refFork.Stats().Measurements; g != w {
+			t.Errorf("fleet=%d wavefront cost %d, row-parallel %d", workers, g, w)
+		}
+		if got.Tests != 1 {
+			t.Errorf("fleet=%d Tests = %d after one wavefront test", workers, got.Tests)
+		}
+	}
+}
+
+func TestWavefrontDeterministicAcrossFleetSizes(t *testing.T) {
+	tester, gen := rig(t)
+	tester.NoiseFraction = 0.25
+	tests := gen.Batch(5)
+	x, y := smallAxes()
+
+	render := func(workers int) (string, int64, []int) {
+		p, err := NewPlot(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var indices []int
+		p.OnTest = func(index int, cost ate.Stats) { indices = append(indices, index) }
+		fork, err := tester.Fork(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := parallel.NewFleet(workers)
+		defer f.Close()
+		if err := p.AddTestsWavefront(f, fork, tests, 640); err != nil {
+			t.Fatal(err)
+		}
+		if p.Tests != len(tests) {
+			t.Fatalf("workers=%d Tests = %d, want %d", workers, p.Tests, len(tests))
+		}
+		return p.Render(), fork.Stats().Measurements, indices
+	}
+
+	grid1, cost1, idx1 := render(1)
+	if len(idx1) != len(tests) {
+		t.Fatalf("observer fired %d times for %d tests", len(idx1), len(tests))
+	}
+	for i, idx := range idx1 {
+		if idx != i {
+			t.Errorf("observation %d has overlay index %d", i, idx)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		grid, cost, idx := render(workers)
+		if grid != grid1 {
+			t.Errorf("workers=%d wavefront grid differs from workers=1:\n%s\nvs\n%s", workers, grid, grid1)
+		}
+		if cost != cost1 {
+			t.Errorf("workers=%d merged %d measurements, workers=1 merged %d", workers, cost, cost1)
+		}
+		if len(idx) != len(idx1) {
+			t.Errorf("workers=%d observer fired %d times, want %d", workers, len(idx), len(idx1))
+		}
+	}
+}

@@ -457,3 +457,17 @@ func (r *Recorder) PoolRun(workers, tasks int) {
 		"tasks":   float64(tasks),
 	})
 }
+
+// FleetStream records one fleet stream drain (fed from the CLI's fleet
+// observer): queue depth is the out-of-order run-ahead high-water mark,
+// utilization and overlap are the stream's worker-occupancy and
+// merge-under-measurement ratios.
+func (r *Recorder) FleetStream(workers, tasks, maxRunAhead int, utilization, overlapRatio float64) {
+	r.Record("fleet", "", map[string]float64{
+		"workers":       float64(workers),
+		"tasks":         float64(tasks),
+		"queue_depth":   float64(maxRunAhead),
+		"utilization":   utilization,
+		"overlap_ratio": overlapRatio,
+	})
+}

@@ -44,6 +44,33 @@ func FeatureNames() []string {
 // the DUT physics model.
 const featureWindow = 8
 
+// featureRing is the fixed-size sliding window behind the peak statistics.
+// mean sums oldest-to-newest — the same order the slice-based window
+// summed in — so the extracted features are bit-identical to that form
+// while the window itself never allocates.
+type featureRing struct {
+	buf     [featureWindow]float64
+	head, n int
+}
+
+func (r *featureRing) push(v float64) {
+	if r.n < featureWindow {
+		r.buf[(r.head+r.n)%featureWindow] = v
+		r.n++
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % featureWindow
+}
+
+func (r *featureRing) mean() float64 {
+	s := 0.0
+	for j := 0; j < r.n; j++ {
+		s += r.buf[(r.head+j)%featureWindow]
+	}
+	return s / float64(r.n)
+}
+
 // ExtractFeatures encodes a test as a fixed-length vector of values in
 // [0, 1], the input representation the paper's neural networks learn from.
 // The encoding is a static approximation of the activity the device will
@@ -83,7 +110,7 @@ func ExtractFeatures(t Test, limits ConditionLimits) []float64 {
 		inverts              int
 		writes, reads        int
 		ssnSum               float64
-		winATD, winTog       []float64
+		winATD, winTog       featureRing
 		prevAddr, prevData   uint32
 		prevWriteData        uint32
 		prevWriteAddr        uint32
@@ -91,23 +118,6 @@ func ExtractFeatures(t Test, limits ConditionLimits) []float64 {
 		havePrev, haveWrite  bool
 		lastStride, prevStep int64
 	)
-	winATD = make([]float64, 0, featureWindow)
-	winTog = make([]float64, 0, featureWindow)
-
-	push := func(buf []float64, v float64) []float64 {
-		buf = append(buf, v)
-		if len(buf) > featureWindow {
-			buf = buf[1:]
-		}
-		return buf
-	}
-	sum := func(buf []float64) float64 {
-		s := 0.0
-		for _, v := range buf {
-			s += v
-		}
-		return s
-	}
 
 	for i, v := range seq {
 		switch v.Op {
@@ -141,8 +151,8 @@ func ExtractFeatures(t Test, limits ConditionLimits) []float64 {
 			_ = lastStride
 		}
 		atdSum += atd
-		winATD = push(winATD, atd)
-		atdWin = sum(winATD) / float64(len(winATD))
+		winATD.push(atd)
+		atdWin = winATD.mean()
 		if atdWin > atdPeak {
 			atdPeak = atdWin
 		}
@@ -179,8 +189,8 @@ func ExtractFeatures(t Test, limits ConditionLimits) []float64 {
 			tog = float64(bits.OnesCount32(prevData^v.Addr)) / 32.0 * 0.5
 		}
 		togSum += tog
-		winTog = push(winTog, tog)
-		togWin = sum(winTog) / float64(len(winTog))
+		winTog.push(tog)
+		togWin = winTog.mean()
 		if togWin > togPeak {
 			togPeak = togWin
 		}
