@@ -1,4 +1,4 @@
-.PHONY: ci check test invariants fuzz-smoke bench bench-parallel bench-obs bench-kernels bench-lot tracestat tracediff benchdiff baselines crash-demo
+.PHONY: ci check test invariants fuzz-smoke bench bench-parallel bench-obs bench-kernels bench-lot tracestat tracediff benchdiff baselines crash-demo ledger regress
 
 # The full CI gate: vet + build + race-enabled tests + coverage floors +
 # fuzz smoke + the telemetry smoke run + the short benchmark passes that
@@ -26,7 +26,8 @@ test:
 # -proptest.seed=N one-liner that replays the exact case.
 invariants:
 	go test -count=1 ./internal/search ./internal/fuzzy ./internal/neural \
-		./internal/telemetry ./internal/obs ./internal/core ./internal/proptest
+		./internal/telemetry ./internal/obs ./internal/core ./internal/proptest \
+		./internal/runstore
 
 # Ten seconds of native fuzzing per target against the committed corpora.
 fuzz-smoke:
@@ -85,6 +86,20 @@ benchdiff:
 # Do this deliberately, in the same commit as the perf change it blesses.
 baselines:
 	cp BENCH_kernels.json BENCH_obs.json BENCH_parallel.json BENCH_lot.json baselines/
+
+# Record three identical runs at different -parallel into a run ledger and
+# list it: the content-addressed store collapses them into one record with
+# three attempt sidecar lines.
+ledger:
+	go run ./cmd/characterize -learn-tests 20 -parallel 1 -run-dir /tmp/repro-ledger > /dev/null
+	go run ./cmd/characterize -learn-tests 20 -parallel 8 -run-dir /tmp/repro-ledger > /dev/null
+	go run ./cmd/tracestat ledger /tmp/repro-ledger
+
+# Gate the ledger's newest record against the sliding-window baseline with
+# the same semantics as `tracestat diff` — run `make ledger` first (twice,
+# with a workload change in between, to see it trip).
+regress:
+	go run ./cmd/tracestat regress -fail-over 20 -min-measurements 10 /tmp/repro-ledger
 
 # Demonstrate the crash-bundle path end to end: inject a worker-pool panic
 # and show the bundle (meta, flags, stacks, flight tail, metrics, report).

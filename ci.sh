@@ -51,6 +51,7 @@ awk '
 		floor["repro/internal/parallel"] = 85
 		floor["repro/internal/pdn"] = 85
 		floor["repro/internal/proptest"] = 60
+		floor["repro/internal/runstore"] = 80
 		floor["repro/internal/search"] = 80
 		floor["repro/internal/shmoo"] = 80
 		floor["repro/internal/telemetry"] = 80
@@ -196,6 +197,64 @@ grep -q "REGRESSED" "$SMOKE_DIR/diff26.txt" || {
 	exit 1
 }
 echo "tracestat diff: identical traces clean, injected regression caught"
+
+echo "== run ledger smoke =="
+# The content-addressed run ledger: the same workload recorded at three
+# worker counts must collide into ONE record (the identity contract), with
+# one attempt sidecar line per execution; then `tracestat regress` over the
+# ledger must stay clean across identical-trace records and catch the same
+# injected +30% learning-phase regression the file-level diff gate catches.
+LEDGER_DIR="$SMOKE_DIR/ledger"
+for P in 1 2 8; do
+	"$SMOKE_DIR/characterize" -learn-tests 20 -parallel "$P" \
+		-run-dir "$LEDGER_DIR" > /dev/null 2>> "$SMOKE_DIR/ledger.stderr"
+done
+RUN_COUNT=$(find "$LEDGER_DIR" -maxdepth 1 -name '*.run' | wc -l)
+if [ "$RUN_COUNT" -ne 1 ]; then
+	echo "FAIL: 3 identical runs at -parallel 1/2/8 left $RUN_COUNT ledger records, want 1" >&2
+	cat "$SMOKE_DIR/ledger.stderr" >&2
+	exit 1
+fi
+ATTEMPTS=$(cat "$LEDGER_DIR"/*.attempts.jsonl | wc -l)
+if [ "$ATTEMPTS" -ne 3 ]; then
+	echo "FAIL: expected 3 attempt sidecar lines, found $ATTEMPTS" >&2
+	exit 1
+fi
+go run ./cmd/tracestat ledger "$LEDGER_DIR" > "$SMOKE_DIR/ledger.txt"
+grep -q "characterize" "$SMOKE_DIR/ledger.txt" || {
+	echo "FAIL: tracestat ledger does not list the recorded run" >&2
+	cat "$SMOKE_DIR/ledger.txt" >&2
+	exit 1
+}
+# A changed identity flag (-weights output) mints a second record whose
+# trace is identical, so the sliding-window regress gate must stay clean.
+"$SMOKE_DIR/characterize" -learn-tests 20 -parallel 4 -weights "$SMOKE_DIR/w.json" \
+	-run-dir "$LEDGER_DIR" > /dev/null 2>> "$SMOKE_DIR/ledger.stderr"
+go run ./cmd/tracestat regress -fail-over 20 -min-measurements 10 "$LEDGER_DIR" || {
+	echo "FAIL: tracestat regress flagged identical-trace ledger records" >&2
+	exit 1
+}
+# The injected +30% learning phase must trip the gate over the ledger.
+"$SMOKE_DIR/characterize" -learn-tests 26 -parallel 4 \
+	-run-dir "$LEDGER_DIR" > /dev/null 2>> "$SMOKE_DIR/ledger.stderr"
+if go run ./cmd/tracestat regress -fail-over 20 -min-measurements 10 \
+	"$LEDGER_DIR" > "$SMOKE_DIR/regress.txt"; then
+	echo "FAIL: tracestat regress missed the injected +30% regression in the ledger" >&2
+	cat "$SMOKE_DIR/regress.txt" >&2
+	exit 1
+fi
+grep -q "REGRESSED" "$SMOKE_DIR/regress.txt" || {
+	echo "FAIL: tracestat regress exited nonzero but reported no REGRESSED row" >&2
+	cat "$SMOKE_DIR/regress.txt" >&2
+	exit 1
+}
+go run ./cmd/tracestat regress -min-measurements 10 -json "$LEDGER_DIR" > "$SMOKE_DIR/regress.json"
+grep -q '"labels"' "$SMOKE_DIR/regress.json" || {
+	echo "FAIL: tracestat regress -json produced no labels array" >&2
+	cat "$SMOKE_DIR/regress.json" >&2
+	exit 1
+}
+echo "run ledger: 3 executions -> 1 record ($ATTEMPTS attempts); regress clean on identical traces, +30% injected regression caught"
 
 echo "== crash bundle smoke =="
 # An injected worker-pool panic must kill the run (nonzero exit) AND leave a

@@ -8,8 +8,10 @@
 //	tracestat run.jsonl
 //	tracestat -top 5 run.jsonl
 //	tracestat -chrome run.chrome.json run.jsonl
-//	tracestat diff [-fail-over 20] [-min-measurements 50] [-fail-on-new] old.jsonl new.jsonl
-//	tracestat benchdiff [-fail-over 20] [-time] baseline.json current.json
+//	tracestat diff [-fail-over 20] [-min-measurements 50] [-fail-on-new] [-json] old.jsonl new.jsonl
+//	tracestat benchdiff [-fail-over 20] [-time] [-json] baseline.json current.json
+//	tracestat ledger [-flow NAME] [-id RUNID] [-json] rundir
+//	tracestat regress [-flow NAME] [-baseline RUNID] [-window 2] [-fail-over 20] [-json] rundir
 //
 // Traces carry no wall-clock time (the determinism contract), so the
 // rollups rank by deterministic simulated tester seconds, the Chrome export
@@ -19,6 +21,12 @@
 // `benchdiff` gates counter-style benchmark metrics (allocs, measurements,
 // hit rates) against a committed baseline; wall-clock metrics are skipped
 // unless -time opts them in.
+//
+// `ledger` lists or inspects a -run-dir run ledger (internal/runstore);
+// `regress` diffs the ledger's newest record against a baseline record (an
+// explicit -baseline ID, or the oldest of the last -window records) with
+// the same gating semantics as `diff` — a drift gate over recorded history
+// instead of two loose trace files.
 package main
 
 import (
@@ -38,6 +46,10 @@ func main() {
 			os.Exit(runDiff(os.Args[2:]))
 		case "benchdiff":
 			os.Exit(runBenchDiff(os.Args[2:]))
+		case "ledger":
+			os.Exit(runLedger(os.Args[2:]))
+		case "regress":
+			os.Exit(runRegress(os.Args[2:]))
 		}
 	}
 
@@ -47,6 +59,8 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracestat [flags] trace.jsonl\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "       tracestat diff [flags] old.jsonl new.jsonl\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "       tracestat benchdiff [flags] baseline.json current.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "       tracestat ledger [flags] rundir\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "       tracestat regress [flags] rundir\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -92,6 +106,7 @@ func runDiff(args []string) int {
 	failOver := fs.Float64("fail-over", 0, "exit nonzero when any label's measurements or sim time grew by at least this percent (0 = report only)")
 	minMeas := fs.Int64("min-measurements", 50, "noise floor: labels below this measurement count on both sides never regress")
 	failOnNew := fs.Bool("fail-on-new", false, "also fail on labels present only in the new trace")
+	jsonOut := fs.Bool("json", false, "print the diff as JSON (the same schema the admin server's /runs/diff serves)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: tracestat diff [flags] old.jsonl new.jsonl\n")
 		fs.PrintDefaults()
@@ -118,7 +133,7 @@ func runDiff(args []string) int {
 		MinMeasurements: *minMeas,
 		FailOnNew:       *failOnNew,
 	})
-	if err := d.Render(os.Stdout); err != nil {
+	if err := renderTraceDiff(d, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "tracestat diff:", err)
 		return 1
 	}
@@ -135,6 +150,7 @@ func runBenchDiff(args []string) int {
 	fs := flag.NewFlagSet("tracestat benchdiff", flag.ExitOnError)
 	failOver := fs.Float64("fail-over", 20, "exit nonzero when any gated metric worsened by at least this percent (0 = report only)")
 	includeTime := fs.Bool("time", false, "also gate wall-clock metrics (ns_per_op, dies_per_sec); off by default because they track the machine, not the code")
+	jsonOut := fs.Bool("json", false, "print the diff as JSON")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: tracestat benchdiff [flags] baseline.json current.json\n")
 		fs.PrintDefaults()
@@ -160,8 +176,14 @@ func runBenchDiff(args []string) int {
 		FailOverPct:      *failOver,
 		IncludeTimeBased: *includeTime,
 	})
-	if err := d.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tracestat benchdiff:", err)
+	var renderErr error
+	if *jsonOut {
+		renderErr = d.WriteJSON(os.Stdout)
+	} else {
+		renderErr = d.Render(os.Stdout)
+	}
+	if renderErr != nil {
+		fmt.Fprintln(os.Stderr, "tracestat benchdiff:", renderErr)
 		return 1
 	}
 	if *failOver > 0 && d.Failed() {

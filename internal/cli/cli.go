@@ -22,6 +22,7 @@ import (
 	"repro/internal/cachestore"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/runstore"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/flight"
 )
@@ -53,16 +54,27 @@ type Common struct {
 	// and the cli tests are its only intended users.
 	InjectFault string
 
+	// RunDir enables the persistent run ledger: on a clean finish the run is
+	// finalized into a content-addressed record (manifest + report + metrics
+	// + trace) under this directory, with wall-clock/scheduling data
+	// quarantined in a per-attempt sidecar. Identical runs — same seed and
+	// workload flags at any -parallel — collide into one record.
+	RunDir string
+
 	CPUProfilePath string
 	MemProfilePath string
 
-	server   *obs.Server
-	progress *obs.Progress
-	runName  string
-	tel      *telemetry.Telemetry
-	flight   *flight.Recorder
-	sampStop func()
-	wd       *watchdog
+	server    *obs.Server
+	progress  *obs.Progress
+	runName   string
+	tel       *telemetry.Telemetry
+	flight    *flight.Recorder
+	sampStop  func()
+	wd        *watchdog
+	fs        *flag.FlagSet
+	ledger    *runstore.Store
+	tracePath string // the trace file actually written (TracePath or the ledger temp)
+	autoTrace bool   // tracePath is a ledger-owned temp file, deleted after finalize
 }
 
 // Register installs the shared flags on the flag set (flag.CommandLine when
@@ -72,7 +84,9 @@ func Register(fs *flag.FlagSet) *Common {
 	if fs == nil {
 		fs = flag.CommandLine
 	}
-	c := &Common{}
+	// The flag set is retained: the run-ledger manifest hashes the resolved
+	// flag values (minus the scheduling/output set) as the run's identity.
+	c := &Common{fs: fs}
 	fs.Int64Var(&c.Seed, "seed", 1, "random seed for the whole run")
 	fs.IntVar(&c.Parallel, "parallel", 0, "worker count for every parallel stage (0 = one per CPU, 1 = serial; results are identical either way)")
 	fs.StringVar(&c.Scheduler, "scheduler", "", "parallel scheduler: fleet (persistent pipelined worker pool, the default) or batch (legacy per-batch fork/join; bit-identical results, only wall-clock differs)")
@@ -83,6 +97,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.Report, "report", false, "print the run report (phase breakdown, cache hit rate, measurements saved) on exit")
 	fs.StringVar(&c.Listen, "listen", "", "serve live observability HTTP (Prometheus /metrics, /progress SSE, /debug/flight, /debug/pprof) on this addr:port while the run lasts (:0 picks a free port)")
 	fs.StringVar(&c.CrashDir, "crash-dir", "", "write post-mortem crash bundles (flight-recorder tail, metrics, flags, goroutine stacks, partial report) into this directory on panic, fatal error or stall")
+	fs.StringVar(&c.RunDir, "run-dir", "", "finalize the run into a content-addressed run ledger in this directory (manifest, report, metrics, trace; identical runs collide into one record — inspect with `tracestat ledger`)")
 	fs.DurationVar(&c.StallTimeout, "stall-timeout", 0, "with -crash-dir: dump a stall bundle (without exiting) when no progress event arrives for this long (0 disables the watchdog)")
 	fs.StringVar(&c.InjectFault, "inject-fault", "", "testing hook: fail the run on purpose after startup (task-panic, error)")
 	fs.StringVar(&c.CPUProfilePath, "cpuprofile", "", "write a pprof CPU profile of the run here")
@@ -114,6 +129,17 @@ func (c *Common) Validate() error {
 		probe, err := os.CreateTemp(c.CrashDir, ".probe-*")
 		if err != nil {
 			return fmt.Errorf("cannot write crash bundles to -crash-dir %q: %w", c.CrashDir, err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+	if c.RunDir != "" {
+		if err := os.MkdirAll(c.RunDir, 0o755); err != nil {
+			return fmt.Errorf("cannot record runs to -run-dir %q: %w", c.RunDir, err)
+		}
+		probe, err := os.CreateTemp(c.RunDir, ".probe-*")
+		if err != nil {
+			return fmt.Errorf("cannot record runs to -run-dir %q: %w", c.RunDir, err)
 		}
 		probe.Close()
 		os.Remove(probe.Name())
@@ -237,9 +263,11 @@ func (c *Common) StartProfiles() (stop func() error, err error) {
 
 // TelemetryEnabled reports whether any telemetry output was requested.
 // -crash-dir counts: crash bundles want the live registry and flight
-// recorder even when no trace or report was asked for.
+// recorder even when no trace or report was asked for. -run-dir counts for
+// the same reason: the ledger record is built from the run's telemetry.
 func (c *Common) TelemetryEnabled() bool {
-	return c.TracePath != "" || c.MetricsPath != "" || c.Report || c.Listen != "" || c.CrashDir != ""
+	return c.TracePath != "" || c.MetricsPath != "" || c.Report || c.Listen != "" ||
+		c.CrashDir != "" || c.RunDir != ""
 }
 
 // StartTelemetry opens the run telemetry the flags describe and installs
@@ -254,13 +282,34 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 	if !c.TelemetryEnabled() {
 		return nil, nil
 	}
+	// The run ledger stores the full trace; when -run-dir is set without
+	// -trace, record into a temp file that finalize reads back and deletes.
+	c.tracePath = c.TracePath
+	c.autoTrace = false
+	if c.tracePath == "" && c.RunDir != "" {
+		tmp, err := os.CreateTemp("", "repro-run-*.jsonl")
+		if err != nil {
+			return nil, fmt.Errorf("cli: creating ledger trace: %w", err)
+		}
+		tmp.Close()
+		c.tracePath = tmp.Name()
+		c.autoTrace = true
+	}
 	var tracer *telemetry.Tracer
-	if c.TracePath != "" {
+	if c.tracePath != "" {
 		var err error
-		tracer, err = telemetry.NewFileTracer(c.TracePath)
+		tracer, err = telemetry.NewFileTracer(c.tracePath)
 		if err != nil {
 			return nil, fmt.Errorf("cli: opening trace: %w", err)
 		}
+	}
+	if c.RunDir != "" {
+		st, err := runstore.Open(c.RunDir)
+		if err != nil {
+			tracer.Close()
+			return nil, fmt.Errorf("cli: opening run ledger: %w", err)
+		}
+		c.ledger = st
 	}
 	tel := telemetry.New(runName, tracer)
 	c.runName = runName
@@ -312,6 +361,8 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 			Metrics:  tel.Registry().Snapshot,
 			Progress: progress,
 			Flight:   recorder,
+			Ledger:   c.ledger,
+			RunInfo:  c.runInfoLabels(tel),
 		})
 		if err != nil {
 			c.stopFlight()
@@ -368,12 +419,14 @@ func (c *Common) stopFlight() {
 	}
 }
 
-// FinishTelemetry closes out the run: writes the -metrics snapshot, prints
-// the -report run report to w, uninstalls the pool observer, shuts the
-// -listen server down and closes the trace. Sink I/O failures (a full
-// disk, a closed pipe) surface as errors so the binaries exit nonzero
-// instead of silently shipping a truncated trace or report. total is the
-// whole run's tester cost. Nil tel is a no-op.
+// FinishTelemetry closes out the run: closes the trace (so the run-end
+// line is flushed and the fingerprint covers the whole file), writes the
+// -metrics snapshot, prints the -report run report to w, finalizes the
+// -run-dir ledger record, uninstalls the pool observer and shuts the
+// -listen server down. Sink I/O failures (a full disk, a closed pipe)
+// surface as errors so the binaries exit nonzero instead of silently
+// shipping a truncated trace or report. total is the whole run's tester
+// cost. Nil tel is a no-op.
 func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total ate.Stats) error {
 	if tel == nil {
 		return nil
@@ -382,8 +435,10 @@ func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total at
 	c.stopFlight()
 	parallel.SetObserver(nil)
 	parallel.SetFleetObserver(nil)
-	c.progress.Done()
+	closeErr := tel.Close()
 	rep := tel.Report(Cost(total))
+	c.progress.SetFingerprint(rep.Fingerprint)
+	c.progress.Done()
 	if c.MetricsPath != "" {
 		f, err := os.Create(c.MetricsPath)
 		if err != nil {
@@ -402,6 +457,12 @@ func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total at
 			return fmt.Errorf("cli: printing report: %w", err)
 		}
 	}
+	// The record is built only when the trace closed cleanly — a truncated
+	// trace must not become ledger history.
+	var ledgerErr error
+	if closeErr == nil {
+		ledgerErr = c.finalizeRun(rep)
+	}
 	if c.server != nil {
 		// Let in-flight /progress streams drain the done state first.
 		if err := c.server.Close(); err != nil {
@@ -410,11 +471,14 @@ func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total at
 		c.server = nil
 		c.progress = nil
 	}
-	if err := tel.Close(); err != nil {
-		return fmt.Errorf("cli: closing trace: %w", err)
-	}
 	c.tel = nil
 	c.flight = nil
+	if closeErr != nil {
+		return fmt.Errorf("cli: closing trace: %w", closeErr)
+	}
+	if ledgerErr != nil {
+		return fmt.Errorf("cli: recording run: %w", ledgerErr)
+	}
 	return nil
 }
 

@@ -1,0 +1,198 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/ate"
+	"repro/internal/runstore"
+	"repro/internal/telemetry"
+)
+
+// TestValidateRejectsUnwritableRunDir pins the -run-dir preflight error the
+// same way the -crash-dir one is pinned: one clear line before any work.
+func TestValidateRejectsUnwritableRunDir(t *testing.T) {
+	blocked := filepath.Join(t.TempDir(), "blocked")
+	if err := os.MkdirAll(blocked, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(blocked, 0o755) })
+	c := &Common{RunDir: filepath.Join(blocked, "sub")}
+	err := c.Validate()
+	if err == nil {
+		t.Skip("running as root: directory permissions not enforced")
+	}
+	want := `cannot record runs to -run-dir "` + filepath.Join(blocked, "sub") + `"`
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("Validate error = %q, want prefix %q", err, want)
+	}
+}
+
+// ledgerWorkload drives one deterministic pseudo-run through a Common built
+// from real flags, returning the minted record id announced on the ledger.
+func ledgerWorkload(t *testing.T, runDir string, parallel int, extraFlags ...string) {
+	t.Helper()
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	c := Register(fs)
+	args := append([]string{
+		"-run-dir", runDir,
+		"-parallel", strconv.Itoa(parallel),
+	}, extraFlags...)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tel, err := c.StartTelemetry("ledger-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := tel.StartPhase("learn")
+	for i := 0; i < 5; i++ {
+		tel.RecordSearch(3+i, 20, true)
+		tel.RecordItem("learn-test", i+1, 5)
+		ph.Span().Event("trip", telemetry.I("i", i), telemetry.F("trip", 1.0+float64(i)/10))
+	}
+	ph.End(Cost(ate.Stats{Measurements: 25, TestTimeSec: 1.5}))
+	tel.RecordGeneration(1, 1.05)
+	if err := c.FinishTelemetry(io.Discard, tel, ate.Stats{Measurements: 25, TestTimeSec: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLedgerIdenticalRunsCollideAcrossParallelism is the tentpole identity
+// contract at the CLI layer: the same workload recorded at -parallel 1, 2
+// and 8 mints exactly one record with three attempts in its sidecar.
+func TestLedgerIdenticalRunsCollideAcrossParallelism(t *testing.T) {
+	runDir := t.TempDir()
+	for _, parallel := range []int{1, 2, 8} {
+		ledgerWorkload(t, runDir, parallel)
+	}
+	st, err := runstore.Open(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 {
+		t.Fatalf("%d records after 3 identical runs, want 1 (ids: %v)", len(sums), sums)
+	}
+	sum := sums[0]
+	if len(sum.Attempts) != 3 {
+		t.Errorf("%d attempts recorded, want 3", len(sum.Attempts))
+	}
+	gotParallel := map[int]bool{}
+	for _, a := range sum.Attempts {
+		gotParallel[a.Parallelism] = true
+		if a.Scheduler != "fleet" {
+			t.Errorf("attempt scheduler = %q, want fleet default", a.Scheduler)
+		}
+		if a.Flags["parallel"] == "" {
+			t.Error("attempt sidecar lost the full flag map")
+		}
+	}
+	for _, p := range []int{1, 2, 8} {
+		if !gotParallel[p] {
+			t.Errorf("no attempt recorded for -parallel %d", p)
+		}
+	}
+	if sum.Manifest.Flow != "ledger-run" || sum.Manifest.CacheWarmth != "none" {
+		t.Errorf("manifest = %+v", sum.Manifest)
+	}
+	// Scheduling knobs must not leak into the identity flag set.
+	for _, name := range []string{"parallel", "scheduler", "trace", "run-dir"} {
+		if _, ok := sum.Manifest.Flags[name]; ok {
+			t.Errorf("non-identity flag %q leaked into the manifest", name)
+		}
+	}
+	if sum.Manifest.Flags["seed"] != "1" {
+		t.Errorf("identity flags lost -seed: %v", sum.Manifest.Flags)
+	}
+	// No stray ledger temp trace should survive finalize.
+	matches, _ := filepath.Glob(filepath.Join(os.TempDir(), "repro-run-*.jsonl"))
+	for _, m := range matches {
+		raw, err := os.ReadFile(m)
+		if err == nil && strings.Contains(string(raw), `"ledger-run"`) {
+			t.Errorf("auto-trace temp file %s not cleaned up", m)
+		}
+	}
+}
+
+// TestLedgerDifferentWorkloadMintsNewRecord: an identity flag change (-seed)
+// yields a second record in the same ledger.
+func TestLedgerDifferentWorkloadMintsNewRecord(t *testing.T) {
+	runDir := t.TempDir()
+	ledgerWorkload(t, runDir, 1)
+	ledgerWorkload(t, runDir, 1, "-seed", "2")
+	st, err := runstore.Open(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("%d records, want 2", len(sums))
+	}
+}
+
+// TestLedgerRecordMatchesTraceFile: with an explicit -trace the stored trace
+// bytes equal the file on disk, and the manifest digest is the FNV-1a of
+// those bytes — the report fingerprint round-trips through the ledger.
+func TestLedgerRecordMatchesTraceFile(t *testing.T) {
+	runDir := t.TempDir()
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	ledgerWorkload(t, runDir, 2, "-trace", tracePath)
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := runstore.Open(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 {
+		t.Fatalf("%d records, want 1", len(sums))
+	}
+	rec, err := st.Get(sums[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Trace, raw) {
+		t.Error("stored trace differs from the -trace file")
+	}
+	h := fnv.New64a()
+	h.Write(raw)
+	want := "fnv1a:" + strconv.FormatUint(h.Sum64(), 16)
+	got := strings.Replace(rec.Manifest.TraceDigest, "fnv1a:", "", 1)
+	gotN, err := strconv.ParseUint(got, 16, 64)
+	if err != nil {
+		t.Fatalf("digest %q unparseable: %v", rec.Manifest.TraceDigest, err)
+	}
+	if gotN != h.Sum64() {
+		t.Errorf("manifest digest %s != trace FNV-1a %s", rec.Manifest.TraceDigest, want)
+	}
+	// The deterministic report artifact must carry no wall-clock residue.
+	if strings.Contains(string(rec.Report), `"wall_seconds":`) &&
+		!strings.Contains(string(rec.Report), `"wall_seconds": 0`) {
+		t.Errorf("ledger report kept non-zero wall seconds:\n%s", rec.Report)
+	}
+	if bytes.Contains(rec.Metrics, []byte(`"nd_`)) {
+		t.Errorf("ledger metrics kept nd_ series:\n%s", rec.Metrics)
+	}
+}

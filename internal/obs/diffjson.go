@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Machine-readable forms of TraceDiff and BenchDiff: one JSON schema shared
+// by `tracestat diff -json` / `tracestat benchdiff -json` and the admin
+// server's /runs/diff endpoint, so CI scripts and the observatory speak the
+// same format. NaN percentages (absent or zero baselines) encode as null —
+// the output is always strict JSON.
+
+// TraceDiffJSON is the encodable form of a TraceDiff.
+type TraceDiffJSON struct {
+	FailOverPct     float64          `json:"fail_over_pct"`
+	MinMeasurements int64            `json:"min_measurements"`
+	FailOnNew       bool             `json:"fail_on_new"`
+	Regressions     int              `json:"regressions"`
+	Labels          []LabelDeltaJSON `json:"labels"`
+}
+
+// LabelDeltaJSON is one joined rollup row. Old/New are null when the label
+// exists on only one side; the pct fields are null when not computable.
+type LabelDeltaJSON struct {
+	Label           string      `json:"label"`
+	Old             *RollupJSON `json:"old"`
+	New             *RollupJSON `json:"new"`
+	MeasurementsPct *float64    `json:"measurements_pct"`
+	SimTimePct      *float64    `json:"sim_time_pct"`
+	Regressed       bool        `json:"regressed"`
+	Reason          string      `json:"reason,omitempty"`
+}
+
+// RollupJSON is one side's per-label cost rollup.
+type RollupJSON struct {
+	Count        int64   `json:"count"`
+	Measurements int64   `json:"measurements"`
+	Vectors      int64   `json:"vectors"`
+	SimTimeSec   float64 `json:"sim_time_sec"`
+}
+
+// JSON converts the diff into its encodable form.
+func (d *TraceDiff) JSON() TraceDiffJSON {
+	out := TraceDiffJSON{
+		FailOverPct:     d.Opts.FailOverPct,
+		MinMeasurements: d.Opts.MinMeasurements,
+		FailOnNew:       d.Opts.FailOnNew,
+		Regressions:     len(d.Regressions()),
+		Labels:          make([]LabelDeltaJSON, 0, len(d.Deltas)),
+	}
+	for _, row := range d.Deltas {
+		out.Labels = append(out.Labels, LabelDeltaJSON{
+			Label:           row.Label,
+			Old:             rollupJSON(row.Old),
+			New:             rollupJSON(row.New),
+			MeasurementsPct: finitePtr(row.MeasurementsPct),
+			SimTimePct:      finitePtr(row.SimTimePct),
+			Regressed:       row.Regressed,
+			Reason:          row.Reason,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the diff as indented JSON.
+func (d *TraceDiff) WriteJSON(w io.Writer) error {
+	return writeIndented(w, d.JSON(), "trace diff")
+}
+
+// BenchDiffJSON is the encodable form of a BenchDiff.
+type BenchDiffJSON struct {
+	FailOverPct       float64          `json:"fail_over_pct"`
+	IncludeTimeBased  bool             `json:"include_time_based"`
+	Failed            bool             `json:"failed"`
+	Regressions       int              `json:"regressions"`
+	MissingBenchmarks []string         `json:"missing_benchmarks,omitempty"`
+	Deltas            []BenchDeltaJSON `json:"deltas"`
+}
+
+// BenchDeltaJSON is one (benchmark, metric) comparison row. New is null
+// when the metric stopped being reported; Pct is null when not computable.
+type BenchDeltaJSON struct {
+	Benchmark string   `json:"benchmark"`
+	Metric    string   `json:"metric"`
+	Old       float64  `json:"old"`
+	New       *float64 `json:"new"`
+	Pct       *float64 `json:"worse_pct"`
+	Regressed bool     `json:"regressed"`
+	Skipped   string   `json:"skipped,omitempty"`
+}
+
+// JSON converts the diff into its encodable form.
+func (d *BenchDiff) JSON() BenchDiffJSON {
+	out := BenchDiffJSON{
+		FailOverPct:       d.Opts.FailOverPct,
+		IncludeTimeBased:  d.Opts.IncludeTimeBased,
+		Failed:            d.Failed(),
+		Regressions:       len(d.Regressions()),
+		MissingBenchmarks: d.MissingBenchmarks,
+		Deltas:            make([]BenchDeltaJSON, 0, len(d.Deltas)),
+	}
+	for _, row := range d.Deltas {
+		out.Deltas = append(out.Deltas, BenchDeltaJSON{
+			Benchmark: row.Benchmark,
+			Metric:    row.Metric,
+			Old:       row.Old,
+			New:       finitePtr(row.New),
+			Pct:       finitePtr(row.Pct),
+			Regressed: row.Regressed,
+			Skipped:   row.Skipped,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the diff as indented JSON.
+func (d *BenchDiff) WriteJSON(w io.Writer) error {
+	return writeIndented(w, d.JSON(), "bench diff")
+}
+
+func rollupJSON(r *Rollup) *RollupJSON {
+	if r == nil {
+		return nil
+	}
+	return &RollupJSON{
+		Count:        int64(r.Count),
+		Measurements: r.Measurements,
+		Vectors:      r.Vectors,
+		SimTimeSec:   r.SimTimeSec,
+	}
+}
+
+// finitePtr maps NaN (and infinities, equally unencodable) to nil.
+func finitePtr(f float64) *float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil
+	}
+	return &f
+}
+
+func writeIndented(w io.Writer, v any, what string) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding %s: %w", what, err)
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}

@@ -76,6 +76,12 @@ type Snapshot struct {
 	DiskFlushed int64   `json:"disk_cache_flushed,omitempty"`
 	DiskBytes   int64   `json:"disk_cache_bytes,omitempty"`
 	DiskHitRate float64 `json:"disk_cache_hit_rate,omitempty"`
+
+	// Fingerprint is the run's deterministic trace-byte digest
+	// (telemetry.Report.Fingerprint), published once at finish — so a
+	// subscriber watching two runs of the same workload can see them agree
+	// without downloading either trace.
+	Fingerprint string `json:"run_fingerprint,omitempty"`
 }
 
 // Progress publishes live run snapshots. Writers (the telemetry observer
@@ -278,6 +284,16 @@ func (p *Progress) FleetStats() (streams, tasks, maxRunAhead int64, utilization,
 	}
 	return p.ndFleetStreams.Load(), p.ndFleetTasks.Load(), p.ndFleetMaxAhead.Load(),
 		math.Float64frombits(p.ndFleetUtil.Load()), math.Float64frombits(p.ndFleetOverlap.Load())
+}
+
+// SetFingerprint publishes the run's deterministic trace digest (call
+// before Done so the final snapshot carries it). Empty digests (tracing
+// off) are a no-op. Nil-safe.
+func (p *Progress) SetFingerprint(fp string) {
+	if p == nil || fp == "" {
+		return
+	}
+	p.publish(func(s *Snapshot) { s.Fingerprint = fp })
 }
 
 // Done freezes the run in its final state. Nil-safe.

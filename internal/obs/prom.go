@@ -64,6 +64,21 @@ func WritePrometheus(w io.Writer, s telemetry.Snapshot, constLabels map[string]s
 	return err
 }
 
+// WriteRunInfo renders the Prometheus "info"-pattern gauge: a constant-1
+// sample whose labels carry the run's identity (flow, seed, scheduler,
+// run_fingerprint). Joining it onto other series in PromQL ties every
+// scraped metric to the exact reproducible run that produced it:
+//
+//	repro_run_info{flow="characterize",seed="1",scheduler="fleet",run_fingerprint="fnv1a:…"} 1
+func WriteRunInfo(w io.Writer, labels map[string]string) error {
+	mn := MetricPrefix + "run_info"
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE %s gauge\n", mn)
+	fmt.Fprintf(&b, "%s%s 1\n", mn, labelBlock(renderLabelPairs(labels), ""))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 // sortedKeys returns the map's keys in sorted order, the stable iteration
 // the byte-identical rendering relies on.
 func sortedKeys[V any](m map[string]V) []string {

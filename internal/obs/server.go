@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/runstore"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/flight"
 )
@@ -29,6 +30,14 @@ type Options struct {
 	// Flight feeds /debug/flight with the recorder's event tail and latest
 	// runtime sample. Nil serves a 404 JSON error there.
 	Flight *flight.Recorder
+	// Ledger serves the cross-run observatory — /runs, /runs/<id> and
+	// /runs/diff — from this run store. Nil serves 404 JSON errors there.
+	Ledger *runstore.Store
+	// RunInfo supplies the label set of the repro_run_info info-pattern
+	// gauge appended to /metrics (flow, seed, scheduler, run_fingerprint).
+	// Called per scrape so live values (the fingerprint) stay current. Nil
+	// omits the gauge.
+	RunInfo func() map[string]string
 	// Heartbeat is the interval between SSE comment frames on idle
 	// /progress streams, keeping proxies from reaping quiet connections and
 	// letting the server notice dead clients. Zero takes DefaultHeartbeat;
@@ -97,6 +106,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/runs/", s.handleRunsSub)
 	mux.HandleFunc("/debug/flight", s.handleFlight)
 	// net/http/pprof registers on DefaultServeMux as an import side effect;
 	// mounting the handlers explicitly keeps this mux self-contained.
@@ -121,6 +132,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/healthz">/healthz</a> — liveness</li>
 <li><a href="/readyz">/readyz</a> — run-phase-aware readiness</li>
 <li><a href="/progress">/progress</a> — live run snapshot (add <code>Accept: text/event-stream</code> or <code>?sse=1</code> to stream)</li>
+<li><a href="/runs">/runs</a> — run-ledger listing (<code>?flow=&amp;seed=&amp;limit=&amp;offset=</code>); <code>/runs/&lt;id&gt;</code> inspects, <code>/runs/diff?a=&amp;b=</code> compares</li>
 <li><a href="/debug/flight">/debug/flight</a> — flight-recorder tail + latest runtime sample</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
 </ul></body></html>
@@ -140,6 +152,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := WritePrometheus(w, snap, labels); err != nil {
 		// Headers are gone; nothing to do but drop the connection.
 		return
+	}
+	if s.opts.RunInfo != nil {
+		if err := WriteRunInfo(w, s.opts.RunInfo()); err != nil {
+			return
+		}
 	}
 }
 

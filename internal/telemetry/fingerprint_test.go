@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestTracerFingerprintMatchesEmittedBytes: the streaming digest equals a
+// straight FNV-1a 64 over the bytes the tracer wrote.
+func TestTracerFingerprintMatchesEmittedBytes(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.emit("run-start", 0, 0, "fp-test", []Field{S("run", "fp-test")})
+	tr.emit("event", 0, 0, "trip", []Field{I("i", 1), F("x", 2.5)})
+	tr.emit("run-end", 0, 0, "fp-test", nil)
+	if err := tr.Close(); err != nil { // flush the buffered sink
+		t.Fatal(err)
+	}
+
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	want := fmt.Sprintf("fnv1a:%016x", h.Sum64())
+	if got := tr.Fingerprint(); got != want {
+		t.Errorf("Fingerprint = %s, want %s (over %d bytes)", got, want, buf.Len())
+	}
+}
+
+// TestTracerFingerprintDeterministic: two tracers fed the same events agree;
+// a differing event diverges them.
+func TestTracerFingerprintDeterministic(t *testing.T) {
+	emit := func(x int) string {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		tr.emit("run-start", 0, 0, "fp", nil)
+		tr.emit("event", 0, 0, "x", []Field{I("x", x)})
+		return tr.Fingerprint()
+	}
+	if emit(1) != emit(1) {
+		t.Error("identical event streams produced different fingerprints")
+	}
+	if emit(1) == emit(2) {
+		t.Error("different event streams produced the same fingerprint")
+	}
+}
+
+// TestNilTracerFingerprintEmpty: the nil no-op tracer (tracing off) has no
+// fingerprint, and the report omits it.
+func TestNilTracerFingerprintEmpty(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Fingerprint(); got != "" {
+		t.Errorf("nil tracer Fingerprint = %q, want empty", got)
+	}
+	tel := New("no-trace", nil)
+	rep := tel.Report(Cost{})
+	if rep.Fingerprint != "" {
+		t.Errorf("report Fingerprint with tracing off = %q", rep.Fingerprint)
+	}
+}
+
+// TestReportCarriesFingerprint: the telemetry report picks the digest up
+// and renders it.
+func TestReportCarriesFingerprint(t *testing.T) {
+	var buf bytes.Buffer
+	tel := New("fp-run", NewTracer(&buf))
+	tel.StartPhase("work").End(Cost{Measurements: 1})
+	rep := tel.Report(Cost{Measurements: 1})
+	if rep.Fingerprint == "" || len(rep.Fingerprint) != len("fnv1a:")+16 {
+		t.Errorf("report Fingerprint = %q", rep.Fingerprint)
+	}
+	if !bytes.Contains([]byte(rep.Render()), []byte("trace fingerprint: "+rep.Fingerprint)) {
+		t.Error("Render omitted the trace fingerprint line")
+	}
+}

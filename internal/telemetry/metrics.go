@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -303,6 +304,42 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// StripNonDeterministic returns a copy of the snapshot without the
+// NonDeterministicPrefix-named metrics, the view stored in artifacts that
+// must be byte-identical across executions (run-ledger records). Maps the
+// strip leaves empty become nil, matching a registry that never saw them.
+func (s Snapshot) StripNonDeterministic() Snapshot {
+	out := Snapshot{}
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, NonDeterministicPrefix) {
+			continue
+		}
+		if out.Counters == nil {
+			out.Counters = make(map[string]int64)
+		}
+		out.Counters[name] = v
+	}
+	for name, v := range s.Gauges {
+		if strings.HasPrefix(name, NonDeterministicPrefix) {
+			continue
+		}
+		if out.Gauges == nil {
+			out.Gauges = make(map[string]float64)
+		}
+		out.Gauges[name] = v
+	}
+	for name, v := range s.Histograms {
+		if strings.HasPrefix(name, NonDeterministicPrefix) {
+			continue
+		}
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistogramSnapshot)
+		}
+		out.Histograms[name] = v
+	}
+	return out
 }
 
 // WriteJSON writes the snapshot as indented JSON. Non-finite gauge values

@@ -87,8 +87,13 @@ type NonDet struct {
 
 // Report is the rendered end-of-run summary.
 type Report struct {
-	Run    string  `json:"run"`
-	Phases []Phase `json:"phases"`
+	Run string `json:"run"`
+	// Fingerprint is the FNV-1a 64 digest of the trace bytes emitted so far
+	// ("fnv1a:%016x"); when the report is built after the trace closed it
+	// covers the whole trace file, so two runs of the same workload carry
+	// the same fingerprint at any -parallel. Empty when tracing is off.
+	Fingerprint string  `json:"trace_fingerprint,omitempty"`
+	Phases      []Phase `json:"phases"`
 	// Total is the whole-run ATE cost; the phase breakdown plus the
 	// "unattributed" phase sums to it exactly.
 	Total Cost `json:"total"`
@@ -197,6 +202,9 @@ func (r *Report) Render() string {
 	if p := r.NonDeterministic.Pool; p.Runs > 0 {
 		fmt.Fprintf(&b, "worker pool: %d runs, %d tasks, up to %d workers; per-worker tasks %v (non-deterministic)\n",
 			p.Runs, p.Tasks, p.MaxWorkers, p.WorkerTasks)
+	}
+	if r.Fingerprint != "" {
+		fmt.Fprintf(&b, "trace fingerprint: %s\n", r.Fingerprint)
 	}
 	return b.String()
 }

@@ -64,6 +64,15 @@ func (t *Telemetry) Registry() *Registry {
 	return t.reg
 }
 
+// Fingerprint returns the tracer's running trace-byte digest (see
+// Tracer.Fingerprint); "" when tracing is off. Nil-safe.
+func (t *Telemetry) Fingerprint() string {
+	if t == nil {
+		return ""
+	}
+	return t.tracer.Fingerprint()
+}
+
 // Run returns the root span. Nil-safe.
 func (t *Telemetry) Run() *Span {
 	if t == nil {
@@ -250,6 +259,7 @@ func (t *Telemetry) Report(total Cost) *Report {
 
 	r := &Report{
 		Run:                  name,
+		Fingerprint:          t.tracer.Fingerprint(),
 		Phases:               phases,
 		Total:                total,
 		CacheHits:            hits,

@@ -15,6 +15,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"os"
@@ -51,7 +52,19 @@ type Tracer struct {
 	closer io.Closer
 	seq    int64
 	err    error // first write error; subsequent emits are dropped
+
+	// fp is the running FNV-1a 64 digest of every emitted byte — the
+	// deterministic run fingerprint. Because the stream carries only logical
+	// counters, the final digest is identical for any -parallel worker count.
+	fp uint64
 }
+
+// FNV-1a 64 parameters (the same hash family internal/parallel's memo-cache
+// keys use), unrolled here to keep the hot path allocation-free.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
 // NewTracer traces onto an arbitrary io.Writer sink (a bytes.Buffer in
 // tests, os.Stderr for ad-hoc debugging). A nil writer yields a no-op
@@ -60,7 +73,19 @@ func NewTracer(w io.Writer) *Tracer {
 	if w == nil {
 		return nil
 	}
-	return &Tracer{w: bufio.NewWriter(w)}
+	return &Tracer{w: bufio.NewWriter(w), fp: fnvOffset64}
+}
+
+// Fingerprint returns the FNV-1a 64 digest of every byte emitted so far,
+// rendered "fnv1a:%016x". After the final emission (run-span end) it is
+// the digest of the whole trace file. A nil tracer returns "".
+func (t *Tracer) Fingerprint() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("fnv1a:%016x", t.fp)
 }
 
 // NewFileTracer traces into a JSONL file sink, truncating any existing
@@ -187,6 +212,9 @@ func (t *Tracer) emit(kind string, span, parent int64, name string, fields []Fie
 		b = appendValue(b, f.Value)
 	}
 	b = append(b, '}', '\n')
+	for _, c := range b {
+		t.fp = (t.fp ^ uint64(c)) * fnvPrime64
+	}
 	if _, err := t.w.Write(b); err != nil {
 		t.err = err
 	}
