@@ -1,4 +1,4 @@
-.PHONY: ci check test invariants fuzz-smoke bench bench-parallel bench-obs bench-kernels bench-lot tracestat tracediff benchdiff baselines crash-demo ledger regress
+.PHONY: ci check test invariants fuzz-smoke bench bench-parallel bench-obs bench-kernels bench-lot tracestat tracediff benchdiff baselines crash-demo ledger regress serve
 
 # The full CI gate: vet + build + race-enabled tests + coverage floors +
 # fuzz smoke + the telemetry smoke run + the short benchmark passes that
@@ -27,7 +27,7 @@ test:
 invariants:
 	go test -count=1 ./internal/search ./internal/fuzzy ./internal/neural \
 		./internal/telemetry ./internal/obs ./internal/core ./internal/proptest \
-		./internal/runstore
+		./internal/runstore ./internal/jobs
 
 # Ten seconds of native fuzzing per target against the committed corpora.
 fuzz-smoke:
@@ -100,6 +100,14 @@ ledger:
 # with a workload change in between, to see it trip).
 regress:
 	go run ./cmd/tracestat regress -fail-over 20 -min-measurements 10 /tmp/repro-ledger
+
+# Boot the characterization job service: REST job API + run observatory +
+# metrics on one port, with a crash-safe persistent queue. Submit work with
+# curl (see the "Job service" section of the README); ^C shuts down cleanly
+# and pending jobs resume on the next boot.
+serve:
+	go run ./cmd/charserved -listen 127.0.0.1:8080 \
+		-queue-dir /tmp/repro-jobq -run-dir /tmp/repro-ledger
 
 # Demonstrate the crash-bundle path end to end: inject a worker-pool panic
 # and show the bundle (meta, flags, stacks, flight tail, metrics, report).

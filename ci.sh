@@ -46,6 +46,7 @@ awk '
 		floor["repro/internal/dut"] = 85
 		floor["repro/internal/fuzzy"] = 80
 		floor["repro/internal/genetic"] = 85
+		floor["repro/internal/jobs"] = 65
 		floor["repro/internal/neural"] = 80
 		floor["repro/internal/obs"] = 80
 		floor["repro/internal/parallel"] = 85
@@ -296,6 +297,101 @@ grep -q 'non_deterministic' "$BUNDLE/flight.json" || {
 	exit 1
 }
 echo "crash bundle complete at $BUNDLE"
+
+echo "== job service smoke =="
+# charserved end to end: boot on :0 with a persistent queue, submit a learn
+# job over HTTP and watch it finalize into the SAME content-addressed
+# ledger record the equivalent CLI invocation mints; DELETE a queued job
+# (must land in canceled); then SIGTERM must shut the service down cleanly
+# (exit 0). The race-enabled service load test — 200+ mixed-priority jobs
+# with random cancellations, exact dispatch order, budget high-water and
+# goroutine-leak checks — already ran in the `go test -race ./...` suite
+# above.
+go build -o "$SMOKE_DIR/charserved" ./cmd/charserved
+SRV_Q="$SMOKE_DIR/jobq"
+SRV_RUNS="$SMOKE_DIR/jobruns"
+"$SMOKE_DIR/charserved" -listen 127.0.0.1:0 -queue-dir "$SRV_Q" \
+	-run-dir "$SRV_RUNS" -workers 4 2> "$SMOKE_DIR/serve.stderr" &
+SRV_PID=$!
+SRV_ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	SRV_ADDR=$(sed -n 's#^charserved: serving http://\([^/]*\)/.*#\1#p' "$SMOKE_DIR/serve.stderr")
+	[ -n "$SRV_ADDR" ] && break
+	kill -0 "$SRV_PID" 2> /dev/null || break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$SRV_ADDR" ]; then
+	echo "FAIL: charserved never announced its address" >&2
+	cat "$SMOKE_DIR/serve.stderr" >&2
+	exit 1
+fi
+JOB=$(curl -sf -X POST "http://$SRV_ADDR/jobs" \
+	-d '{"flow":"learn","seed":1,"args":{"learn-tests":"20"}}')
+JOB_ID=$(printf '%s' "$JOB" | grep -o '"id": "j[0-9]*"' | head -1 | grep -o 'j[0-9]*')
+if [ -z "$JOB_ID" ]; then
+	echo "FAIL: POST /jobs returned no job ID: $JOB" >&2
+	exit 1
+fi
+STATE=""
+BODY=""
+i=0
+while [ $i -lt 300 ]; do
+	BODY=$(curl -sf "http://$SRV_ADDR/jobs/$JOB_ID")
+	STATE=$(printf '%s' "$BODY" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -1)
+	[ "$STATE" = "done" ] && break
+	case "$STATE" in failed | canceled) break ;; esac
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ "$STATE" != "done" ]; then
+	echo "FAIL: learn job $JOB_ID ended in state '$STATE': $BODY" >&2
+	exit 1
+fi
+RUN_ID=$(printf '%s' "$BODY" | grep -o '"run_id": "[0-9a-f]*"' | grep -o '[0-9a-f]\{32\}')
+if [ -z "$RUN_ID" ] || [ ! -f "$SRV_RUNS/$RUN_ID.run" ]; then
+	echo "FAIL: job $JOB_ID finalized no ledger record (run_id '$RUN_ID')" >&2
+	exit 1
+fi
+# Identity: the CLI-equivalent run in a fresh ledger must mint the same ID.
+"$SMOKE_DIR/characterize" -learn-only -learn-tests 20 \
+	-run-dir "$SMOKE_DIR/jobcli" > /dev/null 2>&1
+if [ ! -f "$SMOKE_DIR/jobcli/$RUN_ID.run" ]; then
+	echo "FAIL: CLI-equivalent run did not mint job run ID $RUN_ID:" >&2
+	ls "$SMOKE_DIR/jobcli" >&2
+	exit 1
+fi
+# SSE: a progress stream on the finished job delivers its done frame.
+curl -sf --max-time 5 "http://$SRV_ADDR/jobs/$JOB_ID/progress?sse=1" \
+	> "$SMOKE_DIR/job.sse" || true
+grep -q "event: progress" "$SMOKE_DIR/job.sse" || {
+	echo "FAIL: /jobs/$JOB_ID/progress?sse=1 streamed no progress frame" >&2
+	exit 1
+}
+# Cancellation: a job queued behind a budget-filling one DELETEs to canceled.
+curl -sf -X POST "http://$SRV_ADDR/jobs" \
+	-d '{"flow":"optimize","seed":2,"args":{"learn-tests":"60"},"parallel":4}' > /dev/null
+VICTIM=$(curl -sf -X POST "http://$SRV_ADDR/jobs" \
+	-d '{"flow":"learn","seed":3,"parallel":4}' |
+	grep -o '"id": "j[0-9]*"' | head -1 | grep -o 'j[0-9]*')
+CANCELED=$(curl -sf -X DELETE "http://$SRV_ADDR/jobs/$VICTIM")
+printf '%s' "$CANCELED" | grep -q '"state": "canceled"' || {
+	echo "FAIL: DELETE of queued job $VICTIM did not cancel it: $CANCELED" >&2
+	exit 1
+}
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || {
+	echo "FAIL: charserved exited nonzero on SIGTERM" >&2
+	cat "$SMOKE_DIR/serve.stderr" >&2
+	exit 1
+}
+grep -q "shutdown complete" "$SMOKE_DIR/serve.stderr" || {
+	echo "FAIL: charserved did not log a clean shutdown" >&2
+	cat "$SMOKE_DIR/serve.stderr" >&2
+	exit 1
+}
+echo "job service: learn job = CLI run $RUN_ID; queued job canceled; clean SIGTERM shutdown"
 
 echo "== fleet determinism under -race =="
 # The scheduling-equivalence suite is the license for the fleet being the

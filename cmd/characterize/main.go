@@ -3,27 +3,24 @@
 // learning scheme (fig. 4), optimization scheme (fig. 5), and the Table 1
 // comparison against the deterministic March and pure random baselines.
 //
+// The flow body lives in internal/cli (RunCharacterize) so the charserved
+// job service executes the identical code path — a submitted job and this
+// binary produce the same run ledger ID and bit-identical trace bytes.
+//
 // Usage:
 //
 //	characterize -table1                 # reproduce Table 1
+//	characterize -learn-only             # stop after the learning scheme
 //	characterize -param tdq -weights w.json -db worst.json
 //	characterize -param vddmin -seed 7   # characterize another parameter
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/ate"
 	"repro/internal/cli"
-	"repro/internal/core"
-	"repro/internal/dut"
-	"repro/internal/neural"
-	"repro/internal/pdn"
-	"repro/internal/testgen"
-	"repro/internal/wcr"
 )
 
 func main() {
@@ -31,284 +28,12 @@ func main() {
 	log.SetPrefix("characterize: ")
 
 	common := cli.Register(nil)
-	var (
-		paramName  = flag.String("param", "tdq", "parameter to characterize: tdq, fmax, vddmin")
-		table1     = flag.Bool("table1", false, "reproduce the paper's Table 1 comparison")
-		learnTests = flag.Int("learn-tests", 300, "number of measured tests in the learning phase")
-		randTests  = flag.Int("random-tests", 1000, "random tests in the Table 1 baseline")
-		corner     = flag.String("corner", "tt", "process corner of the device: tt, ff, ss")
-		weightsOut = flag.String("weights", "", "write the trained NN weight file here")
-		dbOut      = flag.String("db", "", "write the worst-case test database here")
-		patternOut = flag.String("patterns", "", "write the worst-case tests as a text vector file here")
-		traceOut   = flag.String("cycle-trace", "", "write the worst test's per-cycle trace as CSV here (with PDN droop analysis)")
-		minimize   = flag.Bool("minimize", false, "minimize the worst-case test for failure analysis")
-		evolveCond = flag.Bool("evolve-conditions", false, "let the GA evolve test conditions (default: fixed at nominal)")
-	)
+	flags := cli.RegisterCharacterizeFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Main validates the flag combinations up front and routes panics and
 	// fatal errors through the -crash-dir bundle path before exiting.
-	common.Main(func() (err error) {
-		stopProfiles, err := common.StartProfiles()
-		if err != nil {
-			return err
-		}
-		defer func() {
-			if perr := stopProfiles(); perr != nil && err == nil {
-				err = perr
-			}
-		}()
-
-		param, err := parseParam(*paramName)
-		if err != nil {
-			return err
-		}
-		die, err := parseCorner(*corner)
-		if err != nil {
-			return err
-		}
-
-		dev, err := dut.NewDevice(dut.DefaultGeometry(), die)
-		if err != nil {
-			return err
-		}
-		tester := ate.New(dev, common.Seed)
-
-		runName := "characterize"
-		if *table1 {
-			runName = "table1"
-		}
-		tel, err := common.StartTelemetry(runName)
-		if err != nil {
-			return err
-		}
-
-		cfg := core.DefaultConfig(common.Seed)
-		cfg.Parameter = param
-		cfg.LearnTests = *learnTests
-		cfg.Parallelism = common.Parallel
-		cfg.Scheduler = common.Scheduler
-		cfg.DisableMeasurementCache = common.NoCache
-		cfg.Telemetry = tel
-		if !*evolveCond {
-			nominal := testgen.NominalConditions()
-			cfg.FixedConditions = &nominal
-		}
-
-		if *table1 {
-			t1cfg := core.Table1Config{Flow: cfg, RandomTests: *randTests, MarchWindowWords: 100}
-			tab, err := core.RunTable1(t1cfg, tester)
-			if err != nil {
-				return err
-			}
-			fmt.Print(tab.Format())
-			cli.PrintCacheSummary(os.Stdout, tab.CacheHits, tab.CacheMisses)
-			return common.FinishTelemetry(os.Stdout, tel, tab.Stats)
-		}
-
-		char, err := core.NewCharacterizer(cfg, tester)
-		if err != nil {
-			return err
-		}
-		defer char.Close()
-
-		// With -cache-dir, recover the previous identical run's memoized
-		// fitness values: the store scope binds parameter, geometry, die and
-		// seed, so only entries this exact flow produced ever load.
-		memoStore, err := common.OpenCacheStore(char.MemoCacheScope())
-		if err != nil {
-			return err
-		}
-		if memoStore != nil {
-			if n := char.PrimeMemoCache(memoStore); n > 0 {
-				fmt.Printf("disk cache: primed %d memoized measurements from %s\n", n, common.CacheDir)
-			}
-		}
-
-		fmt.Printf("Learning scheme (fig. 4): %d random tests on %s die, parameter %s\n",
-			cfg.LearnTests, die.Corner, param)
-		learned, err := char.Learn()
-		if err != nil {
-			return err
-		}
-		stats := learned.DSV.Stats()
-		fmt.Printf("  trip points: min %.3f %s (%s), max %.3f %s, spread %.3f %s\n",
-			stats.Min, param.Unit(), stats.MinTest, stats.Max, param.Unit(), stats.Range, param.Unit())
-		fmt.Printf("  SUTP cost: first search %d measurements, follow-up mean %.1f\n",
-			stats.FirstSearchCost, stats.FollowupSearchCost)
-		_, isMin := param.SpecValue()
-		if iv, err := learned.DSV.WorstCaseInterval(isMin, 0.05, 1000, common.Seed); err == nil {
-			fmt.Printf("  worst trip bootstrap 95%% interval: [%.3f, %.3f] %s (observed %.3f)\n",
-				iv.Lo, iv.Hi, param.Unit(), iv.Observed)
-		}
-		fmt.Printf("  ensemble of %d networks, MSE %.5f\n", learned.Ensemble.Size(), learned.EnsembleValErr)
-		for i, rep := range learned.Reports {
-			fmt.Printf("  member %d: %d epochs, train %.5f, val %.5f, learned=%v generalized=%v\n",
-				i, rep.Epochs, rep.TrainErr, rep.ValErr, rep.Learned, rep.Generalized)
-		}
-
-		imps, err := neural.PermutationImportance(learned.Ensemble, learned.Dataset, common.Seed, 3)
-		if err != nil {
-			return err
-		}
-		featNames := testgen.FeatureNames()
-		fmt.Printf("  NN feature importance (top 4):")
-		for i, im := range imps {
-			if i >= 4 {
-				break
-			}
-			fmt.Printf(" %s=%.5f", featNames[im.Feature], im.DeltaMSE)
-		}
-		fmt.Println()
-
-		if *weightsOut != "" {
-			if err := char.SaveWeights(*weightsOut); err != nil {
-				return err
-			}
-			fmt.Printf("  weight file written to %s\n", *weightsOut)
-		}
-
-		fmt.Println("Optimization scheme (fig. 5): NN-seeded dual-chromosome GA")
-		opt, err := char.Optimize()
-		if err != nil {
-			return err
-		}
-		best, ok := opt.Database.Worst()
-		if !ok {
-			return fmt.Errorf("optimization produced no worst-case test")
-		}
-		fmt.Printf("  GA: %d generations, %d evaluations, %d restarts, %d ATE measurements\n",
-			opt.GA.Generations, opt.GA.Evaluations, opt.GA.Restarts, opt.Measurements)
-		hits, misses := char.CacheStats()
-		cli.PrintCacheSummary(os.Stdout, hits, misses)
-		if memoStore != nil {
-			n, err := char.PersistMemoCache(memoStore)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  disk cache: %d memoized measurements persisted (%d bytes on disk)\n",
-				n, memoStore.BytesOnDisk())
-			cli.RecordDiskCache(tel, memoStore)
-		}
-		fmt.Printf("  worst case: %s  WCR %.3f (%s)  %s = %.3f %s\n",
-			best.Test.Name, best.WCR, best.Class, param, best.Value, param.Unit())
-		if best.Class == wcr.Weakness || best.Class == wcr.Fail {
-			fmt.Println("  → design weakness candidate: schedule wafer-probe / circuit-level analysis")
-		}
-		fmt.Printf("  database: %d entries\n", opt.Database.Len())
-		for i, e := range opt.Database.Entries {
-			if i >= 5 {
-				fmt.Printf("  … %d more\n", opt.Database.Len()-5)
-				break
-			}
-			fmt.Printf("   %2d. %-10s WCR %.3f (%s) %.3f %s\n", i+1, e.Test.Name, e.WCR, e.Class, e.Value, param.Unit())
-		}
-
-		// Fuzzy rule-base diagnosis of the worst test (§5's linguistic output).
-		diag, err := core.NewDiagnosis()
-		if err != nil {
-			return err
-		}
-		expl, err := diag.ExplainTest(best.Test, char.Generator().Limits())
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  diagnosis: %s\n", expl)
-
-		if *minimize {
-			res, err := char.Minimize(best.Test, core.DefaultMinimizeConfig())
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  minimized: %d → %d vectors (%.1f×), WCR %.3f → %.3f, %d probes\n",
-				len(res.Original.Seq), len(res.Minimized.Seq), res.ReductionFactor(),
-				res.OriginalWCR, res.MinimizedWCR, res.Probes)
-		}
-
-		if *dbOut != "" {
-			if err := opt.Database.SaveFile(*dbOut); err != nil {
-				return err
-			}
-			fmt.Printf("  database written to %s\n", *dbOut)
-		}
-		if *traceOut != "" {
-			records, _, err := dev.Trace(best.Test)
-			if err != nil {
-				return err
-			}
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				return err
-			}
-			if err := dut.WriteTraceCSV(f, records); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("  trace: %d cycles written to %s\n", len(records), *traceOut)
-			if start, end, mean, ok := dut.HotWindow(records, 32); ok {
-				fmt.Printf("  hot window: cycles %d–%d (mean SSN %.2f)\n", start, end, mean)
-			}
-			network := pdn.Default()
-			droop, err := network.Simulate(records, best.Test.Cond.VddV, best.Test.Cond.ClockMHz)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  PDN: peak droop %.3f V at %.1f ns (cycle %d), mean %.4f V; network f0 %.1f MHz, ζ %.2f\n",
-				droop.PeakDroopV, droop.PeakAtNS, droop.PeakCycle, droop.MeanDroopV,
-				network.ResonantHz()/1e6, network.DampingRatio())
-		}
-
-		if *patternOut != "" {
-			f, err := os.Create(*patternOut)
-			if err != nil {
-				return err
-			}
-			tests := make([]testgen.Test, 0, opt.Database.Len())
-			for _, e := range opt.Database.Entries {
-				tests = append(tests, e.Test)
-			}
-			if err := testgen.WriteTests(f, tests); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("  %d pattern(s) written to %s\n", len(tests), *patternOut)
-		}
-
-		s := tester.Stats()
-		fmt.Printf("Tester totals: %d measurements, %d vectors, %.2f s simulated test time\n",
-			s.Measurements, s.VectorsApplied, s.TestTimeSec)
-		return common.FinishTelemetry(os.Stdout, tel, s)
+	common.Main(func() error {
+		return cli.RunCharacterize(common, flags, os.Stdout)
 	})
-}
-
-func parseParam(s string) (ate.Parameter, error) {
-	switch s {
-	case "tdq":
-		return ate.TDQ, nil
-	case "fmax":
-		return ate.Fmax, nil
-	case "vddmin":
-		return ate.VddMin, nil
-	default:
-		return 0, fmt.Errorf("unknown parameter %q (want tdq, fmax or vddmin)", s)
-	}
-}
-
-func parseCorner(s string) (*dut.Die, error) {
-	switch s {
-	case "tt":
-		return dut.NewDie(0, dut.CornerTypical), nil
-	case "ff":
-		return dut.NewDie(0, dut.CornerFast), nil
-	case "ss":
-		return dut.NewDie(0, dut.CornerSlow), nil
-	default:
-		return nil, fmt.Errorf("unknown corner %q (want tt, ff or ss)", s)
-	}
 }

@@ -1,0 +1,89 @@
+// Command charserved is the characterization job service: a REST/JSON API
+// over the flows the cmd/ binaries run, multiplexing concurrent jobs over
+// per-job worker fleets under one global budget, with a crash-safe
+// persistent queue, per-job SSE progress, namespaced /metrics and a shared
+// content-addressed run ledger. A job submitted here produces the same run
+// ID and bit-identical trace bytes as the equivalent CLI invocation.
+//
+// Usage:
+//
+//	charserved -listen 127.0.0.1:8080 -queue-dir q -run-dir runs
+//	curl -X POST :8080/jobs -d '{"flow":"learn","seed":7,"args":{"learn-tests":"50"}}'
+//	curl :8080/jobs/j000001/progress?sse=1
+//
+// SIGINT/SIGTERM shuts down cleanly: dispatch stops, running jobs are
+// interrupted at their next phase boundary and stay journalled as running,
+// and the next boot resumes exactly the pending set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("charserved: ")
+
+	listen := flag.String("listen", "127.0.0.1:8080", "serve the job API and admin endpoints on this addr:port (:0 picks a free port)")
+	queueDir := flag.String("queue-dir", "", "persist the job queue journal in this directory (required; survives restarts)")
+	runDir := flag.String("run-dir", "", "finalize finished jobs into the content-addressed run ledger in this directory (required)")
+	workers := flag.Int("workers", runtime.NumCPU(), "global worker budget shared by all concurrently running jobs")
+	heartbeat := flag.Duration("heartbeat", 0, "SSE heartbeat interval on idle progress streams (0 = default, negative disables)")
+	flag.Parse()
+
+	if err := jobs.ValidateServer(*listen, *queueDir, *runDir, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "%s%v\n", log.Prefix(), err)
+		os.Exit(2)
+	}
+
+	srv, err := jobs.New(jobs.Options{
+		QueueDir:  *queueDir,
+		RunDir:    *runDir,
+		Workers:   *workers,
+		Heartbeat: *heartbeat,
+		Log:       log.Default(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	admin, err := obs.Start(*listen, obs.Options{
+		Run:       "charserved",
+		Metrics:   srv.MetricsSnapshot,
+		Ledger:    srv.Store(),
+		Jobs:      srv.Handler(),
+		Heartbeat: *heartbeat,
+	})
+	if err != nil {
+		srv.Close() //nolint:errcheck // boot failed; exiting anyway
+		log.Fatal(err)
+	}
+	// The resolved address goes to stderr so scripts booting with :0 can
+	// read the port back (ci.sh does exactly that).
+	fmt.Fprintf(os.Stderr, "charserved: serving http://%s/ (jobs, runs, metrics; budget %d workers)\n",
+		admin.Addr(), *workers)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	log.Printf("received %s, shutting down", sig)
+
+	// Stop accepting and interrupt running jobs first, then close the
+	// listener so in-flight responses drain.
+	if err := srv.Close(); err != nil {
+		log.Printf("queue shutdown: %v", err)
+	}
+	if err := admin.Close(); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("shutdown complete (pending jobs resume on next boot)")
+}

@@ -4,6 +4,9 @@
 // extracts the final device specification over the environmental grid —
 // "every combination of two or more environmental variables".
 //
+// The flow body lives in internal/cli (RunLot) so the charserved job
+// service executes the identical code path.
+//
 // Usage:
 //
 //	lotchar -db worst.json -dies 25
@@ -13,181 +16,21 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"time"
 
-	"repro/internal/ate"
-	"repro/internal/cachestore"
-	"repro/internal/charspec"
 	"repro/internal/cli"
-	"repro/internal/core"
-	"repro/internal/dut"
-	"repro/internal/parallel"
-	"repro/internal/telemetry"
-	"repro/internal/testgen"
 )
-
-// printLotCost prints the one-line lot cost summary: throughput, total
-// ATE measurements, and disk-cache effectiveness when a store is attached.
-func printLotCost(rep *core.LotReport, store *cachestore.Store, wallSec float64) {
-	dps := 0.0
-	if wallSec > 0 {
-		dps = float64(rep.DieCount) / wallSec
-	}
-	line := fmt.Sprintf("lot cost: %d dies in %.2fs (%.1f dies/sec), %d ATE measurements",
-		rep.DieCount, wallSec, dps, rep.Measurements)
-	if store != nil {
-		st := store.Stats()
-		line += fmt.Sprintf(", disk cache hit rate %.1f%% (%d/%d, %d bytes on disk)",
-			100*telemetry.HitRate(st.Hits, st.Misses), st.Hits, st.Hits+st.Misses, st.BytesOnDisk)
-	}
-	fmt.Println(line)
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lotchar: ")
 
 	common := cli.Register(nil)
-	var (
-		dbPath    = flag.String("db", "", "worst-case database from 'characterize -db' (optional)")
-		dies      = flag.Int("dies", 20, "number of dies in the sample lot (with -wafers: dies per wafer)")
-		wafers    = flag.Int("wafers", 0, "screen a wafer lot with spatially structured process variation (0 = flat i.i.d. lot)")
-		guardband = flag.Float64("guardband", 0.05, "spec extraction guardband fraction")
-	)
+	flags := cli.RegisterLotFlags(flag.CommandLine)
 	flag.Parse()
-	common.Main(func() (err error) {
-		seed, sites := &common.Seed, &common.Parallel
-		if *dies < 1 {
-			return fmt.Errorf("-dies must be at least 1, got %d", *dies)
-		}
-		if *wafers < 0 {
-			return fmt.Errorf("-wafers must not be negative, got %d", *wafers)
-		}
 
-		stopProfiles, err := common.StartProfiles()
-		if err != nil {
-			return err
-		}
-		defer func() {
-			if perr := stopProfiles(); perr != nil && err == nil {
-				err = perr
-			}
-		}()
-
-		tel, err := common.StartTelemetry("lotchar")
-		if err != nil {
-			return err
-		}
-
-		geom := dut.DefaultGeometry()
-		cond := testgen.NominalConditions()
-
-		// Assemble the screened test set: the database tests (or a built-in
-		// coordinated worst-case pattern) plus a March C- baseline.
-		var tests []testgen.Test
-		if *dbPath != "" {
-			db, err := core.LoadDatabaseFile(*dbPath)
-			if err != nil {
-				return err
-			}
-			for i, e := range db.Entries {
-				if i >= 5 {
-					break // the five worst are plenty for a lot screen
-				}
-				tests = append(tests, e.Test)
-			}
-			fmt.Printf("loaded %d worst-case tests from %s\n", len(tests), *dbPath)
-		} else {
-			words := geom.Words()
-			seq := make(testgen.Sequence, 0, 800)
-			for i := 0; i < 200; i++ {
-				base := uint32(0)
-				if i%2 == 1 {
-					base = words - 2
-				}
-				seq = append(seq,
-					testgen.Vector{Op: testgen.OpWrite, Addr: base, Data: 0},
-					testgen.Vector{Op: testgen.OpWrite, Addr: base + 1, Data: 0xFFFFFFFF},
-				)
-			}
-			tests = append(tests, testgen.Test{Name: "WORST-BUILTIN", Seq: seq, Cond: cond})
-			fmt.Println("no database given; using the built-in coordinated worst-case pattern")
-		}
-		march, err := testgen.MarchTest(testgen.MarchCMinus(), 0, 100, 0x55555555, cond)
-		if err != nil {
-			return err
-		}
-		tests = append(tests, march)
-
-		// --- Lot screen ---------------------------------------------------
-		// Flat lots keep the legacy i.i.d. sample; -wafers switches to the
-		// spatial wafer model. Either way the dies stream through the bounded
-		// pipeline — per-die results are not retained, so lot size no longer
-		// bounds memory.
-		var src dut.DieSource
-		if *wafers > 0 {
-			wl, err := dut.NewWaferLot(*seed, *wafers, *dies)
-			if err != nil {
-				return err
-			}
-			src = wl
-		} else {
-			src = dut.LotSlice(dut.NewDieLot(*seed, *dies))
-		}
-		store, err := common.OpenCacheStore(core.LotCacheScope)
-		if err != nil {
-			return err
-		}
-		lotOpts := core.LotOptions{
-			Workers:   *sites,
-			Cache:     store,
-			Telemetry: tel,
-		}
-		if common.Scheduler != "batch" {
-			f := parallel.NewFleet(parallel.Bound(*sites, src.Len()))
-			defer f.Close()
-			lotOpts.Fleet = f
-		}
-		screenStart := time.Now()
-		rep, err := core.ScreenLotStream(ate.TDQ, tests, src, geom, *seed, lotOpts)
-		if err != nil {
-			return err
-		}
-		screenWall := time.Since(screenStart).Seconds()
-		fmt.Println()
-		fmt.Print(rep.Format())
-		printLotCost(rep, store, screenWall)
-
-		// --- Spec extraction on the worst die -----------------------------
-		var worstDie *dut.Die
-		for i := 0; i < src.Len(); i++ {
-			if d := src.Die(i); d.ID == rep.WorstDie.DieID {
-				worstDie = d
-				break
-			}
-		}
-		dev, err := dut.NewDevice(geom, worstDie)
-		if err != nil {
-			return err
-		}
-		tester := ate.New(dev, *seed+999)
-		cfg := charspec.DefaultConfig()
-		cfg.Guardband = *guardband
-		ph := tel.StartPhase("spec-extract")
-		spec, err := charspec.Extract(tester, ate.TDQ, tests, cfg)
-		ph.End(cli.Cost(tester.Stats()))
-		if err != nil {
-			return err
-		}
-		fmt.Println()
-		fmt.Printf("environmental sweep on the worst die (#%d, %s):\n", worstDie.ID, worstDie.Corner)
-		fmt.Print(spec.Format())
-
-		total := rep.Stats
-		total.Add(tester.Stats())
-		return common.FinishTelemetry(os.Stdout, tel, total)
+	common.Main(func() error {
+		return cli.RunLot(common, flags, os.Stdout)
 	})
 }

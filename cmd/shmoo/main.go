@@ -3,6 +3,9 @@
 // plot, so the test-dependent trip point variation shows up as a partial
 // pass band between the all-pass and any-pass boundaries.
 //
+// The flow body lives in internal/cli (RunShmoo) so the charserved job
+// service executes the identical code path.
+//
 // Usage:
 //
 //	shmoo -tests 1000                 # the paper's 1000-test overlay
@@ -11,18 +14,10 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/ate"
 	"repro/internal/cli"
-	"repro/internal/core"
-	"repro/internal/dut"
-	"repro/internal/parallel"
-	"repro/internal/shmoo"
-	"repro/internal/telemetry"
-	"repro/internal/testgen"
 )
 
 func main() {
@@ -30,91 +25,10 @@ func main() {
 	log.SetPrefix("shmoo: ")
 
 	common := cli.Register(nil)
-	var (
-		tests  = flag.Int("tests", 1000, "number of random tests to overlay")
-		dbPath = flag.String("db", "", "also overlay the tests of this worst-case database")
-		vddMin = flag.Float64("vdd-min", 1.4, "Y axis lower bound (V)")
-		vddMax = flag.Float64("vdd-max", 2.2, "Y axis upper bound (V)")
-		xMin   = flag.Float64("tdq-min", 18, "X axis lower bound (ns)")
-		xMax   = flag.Float64("tdq-max", 36, "X axis upper bound (ns)")
-	)
+	flags := cli.RegisterShmooFlags(flag.CommandLine)
 	flag.Parse()
-	common.Main(func() (err error) {
-		seed, par := &common.Seed, &common.Parallel
 
-		stopProfiles, err := common.StartProfiles()
-		if err != nil {
-			return err
-		}
-		defer func() {
-			if perr := stopProfiles(); perr != nil && err == nil {
-				err = perr
-			}
-		}()
-
-		dev, err := dut.NewDevice(dut.DefaultGeometry(), dut.NewDie(0, dut.CornerTypical))
-		if err != nil {
-			return err
-		}
-		tester := ate.New(dev, *seed)
-		tel, err := common.StartTelemetry("shmoo")
-		if err != nil {
-			return err
-		}
-		cond := testgen.NominalConditions()
-		gen := testgen.NewRandomGenerator(*seed+1, dev.Geometry().Words(), testgen.DefaultConditionLimits())
-		gen.FixedConditions = &cond
-
-		x := shmoo.DefaultTDQAxis()
-		x.Min, x.Max = *xMin, *xMax
-		y := shmoo.DefaultVddAxis()
-		y.Min, y.Max = *vddMin, *vddMax
-
-		plot, err := shmoo.NewPlot(x, y)
-		if err != nil {
-			return err
-		}
-		batch := gen.Batch(*tests)
-		if *dbPath != "" {
-			db, err := core.LoadDatabaseFile(*dbPath)
-			if err != nil {
-				return err
-			}
-			for _, e := range db.Entries {
-				batch = append(batch, e.Test)
-			}
-			fmt.Printf("overlaying %d database tests on top of %d random tests\n", db.Len(), *tests)
-		}
-		ph := tel.StartPhase("shmoo-overlay")
-		sweep := ph.Span()
-		plot.OnTest = func(index int, cost ate.Stats) {
-			sweep.Event("test", telemetry.I("i", index),
-				telemetry.I("measurements", cost.Measurements),
-				telemetry.I("vectors", cost.VectorsApplied))
-			tel.RecordItem("shmoo-test", index+1, len(batch))
-		}
-		if common.Scheduler == "batch" {
-			if err := plot.AddTestsParallel(tester, batch, *seed, *par); err != nil {
-				return err
-			}
-		} else {
-			f := parallel.NewFleet(parallel.Bound(*par, len(batch)))
-			defer f.Close()
-			if err := plot.AddTestsOn(f, tester, batch, *seed); err != nil {
-				return err
-			}
-		}
-		plot.OnTest = nil
-		ph.End(cli.Cost(tester.Stats()))
-
-		fmt.Print(plot.Render())
-		fmt.Printf("worst-case trip point variation: %.2f ns\n", plot.WorstCaseVariation())
-		allPass, anyPass, ok := plot.BoundarySpread(plot.Y.Steps / 2)
-		if ok {
-			fmt.Printf("at mid supply: all tests pass up to %.2f ns, some up to %.2f ns\n", allPass, anyPass)
-		}
-		s := tester.Stats()
-		fmt.Printf("tester: %d measurements, %.1f s simulated test time\n", s.Measurements, s.TestTimeSec)
-		return common.FinishTelemetry(os.Stdout, tel, s)
+	common.Main(func() error {
+		return cli.RunShmoo(common, flags, os.Stdout)
 	})
 }

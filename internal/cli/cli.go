@@ -64,17 +64,65 @@ type Common struct {
 	CPUProfilePath string
 	MemProfilePath string
 
-	server    *obs.Server
-	progress  *obs.Progress
-	runName   string
-	tel       *telemetry.Telemetry
-	flight    *flight.Recorder
-	sampStop  func()
-	wd        *watchdog
-	fs        *flag.FlagSet
-	ledger    *runstore.Store
-	tracePath string // the trace file actually written (TracePath or the ledger temp)
-	autoTrace bool   // tracePath is a ledger-owned temp file, deleted after finalize
+	// Embedded marks a Common owned by an in-process host (the job service)
+	// rather than a binary: StartTelemetry then leaves the process-wide
+	// parallel pool/fleet observers alone (they are global, last-wins state
+	// — concurrent jobs would cross-pollute each other's ND stats) and never
+	// starts an observability server of its own. Trace bytes are unaffected
+	// either way: the global observers only feed nd_ metrics.
+	Embedded bool
+
+	// CheckCancel, when non-nil, is polled by the flow runners at phase
+	// boundaries; a non-nil return aborts the flow with that error. The job
+	// service uses it for cooperative cancellation of running jobs.
+	CheckCancel func() error
+
+	// OnTelemetryStart, when non-nil, receives the run's telemetry handle as
+	// StartTelemetry completes — an embedding host's hook for folding the
+	// run's registry into its own metrics exposition.
+	OnTelemetryStart func(tel *telemetry.Telemetry)
+
+	server          *obs.Server
+	progress        *obs.Progress
+	extProgress     *obs.Progress
+	runName         string
+	tel             *telemetry.Telemetry
+	flight          *flight.Recorder
+	sampStop        func()
+	wd              *watchdog
+	fs              *flag.FlagSet
+	ledger          *runstore.Store
+	tracePath       string // the trace file actually written (TracePath or the ledger temp)
+	autoTrace       bool   // tracePath is a ledger-owned temp file, deleted after finalize
+	lastRunID       string
+	lastFingerprint string
+}
+
+// AttachProgress hands the run an externally owned progress publisher: the
+// next StartTelemetry wires it as the run observer instead of creating one,
+// so an embedding host (the job service) can watch and serve the run's live
+// state. Call before StartTelemetry.
+func (c *Common) AttachProgress(p *obs.Progress) { c.extProgress = p }
+
+// AttachLedger supplies an already-open run-ledger store; StartTelemetry
+// then finalizes into it instead of opening its own handle on RunDir. The
+// job service shares one store handle across every job this way. RunDir
+// must still be set — it gates finalization and the ledger temp trace.
+func (c *Common) AttachLedger(st *runstore.Store) { c.ledger = st }
+
+// LastRun returns the ledger run ID and trace fingerprint of the last
+// FinishTelemetry, empty before the first finalized run (or when -run-dir
+// was not set, in which case only the fingerprint is populated).
+func (c *Common) LastRun() (runID, fingerprint string) {
+	return c.lastRunID, c.lastFingerprint
+}
+
+// checkCancel polls the host's cancellation hook (no-op when unset).
+func (c *Common) checkCancel() error {
+	if c.CheckCancel == nil {
+		return nil
+	}
+	return c.CheckCancel()
 }
 
 // Register installs the shared flags on the flag set (flag.CommandLine when
@@ -303,7 +351,7 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 			return nil, fmt.Errorf("cli: opening trace: %w", err)
 		}
 	}
-	if c.RunDir != "" {
+	if c.RunDir != "" && c.ledger == nil {
 		st, err := runstore.Open(c.RunDir)
 		if err != nil {
 			tracer.Close()
@@ -316,11 +364,12 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 	c.tel = tel
 
 	poolObserver := parallel.Observer(tel.ObservePool)
-	var progress *obs.Progress
+	progress := c.extProgress
 	var recorder *flight.Recorder
-	if c.Listen != "" {
+	if progress == nil && c.Listen != "" {
 		progress = obs.NewProgress(runName)
 	}
+	c.progress = progress
 	if c.Listen != "" || c.CrashDir != "" {
 		recorder = flight.New(flight.DefaultCapacity)
 		recorder.ExportTo(tel.Registry())
@@ -340,22 +389,26 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 	}
 	// Fleet stream stats mirror the pool observer's quarantine: nd_ gauges
 	// in the registry (excluded from determinism diffs), the /progress
-	// non_deterministic section and the flight ring.
-	reg := tel.Registry()
-	parallel.SetFleetObserver(func(st parallel.StreamStats) {
-		reg.Counter("nd_fleet_streams_total").Add(1)
-		reg.Gauge("nd_fleet_queue_depth").Set(float64(st.MaxRunAhead))
-		reg.Gauge("nd_fleet_utilization").Set(st.Utilization())
-		reg.Gauge("nd_fleet_overlap_ratio").Set(st.OverlapRatio())
-		progress.FleetStream(st.Workers, st.Tasks, st.MaxRunAhead, st.Utilization(), st.OverlapRatio())
-		if recorder != nil {
-			recorder.FleetStream(st.Workers, st.Tasks, st.MaxRunAhead, st.Utilization(), st.OverlapRatio())
-		}
-	})
+	// non_deterministic section and the flight ring. Both observers are
+	// process-wide (last-wins) globals, so an Embedded run — one of several
+	// concurrent jobs in a host process — must not install them.
+	if !c.Embedded {
+		reg := tel.Registry()
+		parallel.SetFleetObserver(func(st parallel.StreamStats) {
+			reg.Counter("nd_fleet_streams_total").Add(1)
+			reg.Gauge("nd_fleet_queue_depth").Set(float64(st.MaxRunAhead))
+			reg.Gauge("nd_fleet_utilization").Set(st.Utilization())
+			reg.Gauge("nd_fleet_overlap_ratio").Set(st.OverlapRatio())
+			progress.FleetStream(st.Workers, st.Tasks, st.MaxRunAhead, st.Utilization(), st.OverlapRatio())
+			if recorder != nil {
+				recorder.FleetStream(st.Workers, st.Tasks, st.MaxRunAhead, st.Utilization(), st.OverlapRatio())
+			}
+		})
+	}
 	if recorder != nil {
 		c.sampStop = recorder.StartSampler(flight.DefaultSampleInterval)
 	}
-	if c.Listen != "" {
+	if c.Listen != "" && !c.Embedded {
 		srv, err := obs.Start(c.Listen, obs.Options{
 			Run:      runName,
 			Metrics:  tel.Registry().Snapshot,
@@ -370,12 +423,17 @@ func (c *Common) StartTelemetry(runName string) (*telemetry.Telemetry, error) {
 			return nil, fmt.Errorf("cli: starting observability server: %w", err)
 		}
 		c.server = srv
-		c.progress = progress
 		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (metrics, progress, flight, pprof)\n", srv.Addr())
 	}
-	parallel.SetObserver(poolObserver)
+	if !c.Embedded {
+		parallel.SetObserver(poolObserver)
+	}
 	if c.CrashDir != "" && c.StallTimeout > 0 {
 		c.wd = c.startWatchdog(c.StallTimeout)
+	}
+
+	if c.OnTelemetryStart != nil {
+		c.OnTelemetryStart(tel)
 	}
 
 	// Fault injection runs last so the bundle it produces captures the live
@@ -433,10 +491,13 @@ func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total at
 	}
 	// Watchdog first: a completed run must never race a stall bundle.
 	c.stopFlight()
-	parallel.SetObserver(nil)
-	parallel.SetFleetObserver(nil)
+	if !c.Embedded {
+		parallel.SetObserver(nil)
+		parallel.SetFleetObserver(nil)
+	}
 	closeErr := tel.Close()
 	rep := tel.Report(Cost(total))
+	c.lastFingerprint = rep.Fingerprint
 	c.progress.SetFingerprint(rep.Fingerprint)
 	c.progress.Done()
 	if c.MetricsPath != "" {
@@ -480,6 +541,35 @@ func (c *Common) FinishTelemetry(w io.Writer, tel *telemetry.Telemetry, total at
 		return fmt.Errorf("cli: recording run: %w", ledgerErr)
 	}
 	return nil
+}
+
+// Abort tears a started run's telemetry down without finalizing anything:
+// samplers and watchdog stop, the trace file closes (and a ledger-owned temp
+// trace is deleted), the progress publisher is marked done so subscribers
+// unblock, and the observability server (if any) shuts down. No metrics,
+// report or ledger record is written — the run did not finish. For hosts
+// (the job service) whose flow body returned an error before reaching
+// FinishTelemetry; idempotent.
+func (c *Common) Abort() {
+	c.stopFlight()
+	if !c.Embedded {
+		parallel.SetObserver(nil)
+		parallel.SetFleetObserver(nil)
+	}
+	if c.tel != nil {
+		c.tel.Close() //nolint:errcheck // aborting; the trace is discarded anyway
+		c.tel = nil
+	}
+	if c.autoTrace && c.tracePath != "" {
+		os.Remove(c.tracePath)
+		c.autoTrace = false
+	}
+	c.progress.Done()
+	if c.server != nil {
+		c.server.Close() //nolint:errcheck // best-effort teardown
+		c.server = nil
+	}
+	c.flight = nil
 }
 
 // Cost converts tester counters into a telemetry cost.

@@ -1,0 +1,218 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ate"
+	"repro/internal/dut"
+)
+
+// Flow specs: the one shared description of a characterization workload.
+//
+// Every paper flow — the fig. 4 learning scheme, the fig. 5 optimization
+// scheme, the Table 1 comparison, the fig. 8 shmoo overlay and the lot
+// screen — is constructed here, from the same flag set the corresponding
+// binary registers. The binaries call the Run* functions directly with
+// their parsed flags; the job service (internal/jobs) goes through
+// NewFlowRun, which rebuilds the binary's exact flag set and applies a
+// FlowSpec's overrides onto it. Both paths therefore resolve identical
+// identity flag maps and execute identical code, which is what makes a
+// submitted job produce the same content-addressed run ID and bit-identical
+// trace bytes as the equivalent CLI invocation.
+
+// FlowSpec names one workload: a flow, its seed, and the workload flag
+// overrides to apply on top of the binary's defaults. It is the job
+// service's POST /jobs payload core.
+type FlowSpec struct {
+	// Flow selects the workload: learn, optimize, table1, shmoo or lot.
+	Flow string `json:"flow"`
+	// Seed is the run seed (the shared -seed flag; 1 is the CLI default).
+	Seed int64 `json:"seed"`
+	// NoCache disables the measurement memo-cache (-no-cache).
+	NoCache bool `json:"no_cache,omitempty"`
+	// Args overrides workload flags by flag name ("learn-tests": "20").
+	// Only the flow's declared workload flags are accepted — scheduling and
+	// output-path flags are owned by the runner, never by the spec.
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// FlowRun is an instantiated FlowSpec: the Common carrying the resolved
+// flag set (the run's ledger identity) plus the flow body to execute.
+type FlowRun struct {
+	// Common holds the shared flag values; callers may adjust the
+	// non-identity scheduling fields (Parallel, Scheduler, RunDir, …)
+	// before Run without changing the run's identity.
+	Common *Common
+
+	spec FlowSpec
+	run  func(c *Common, out io.Writer) error
+}
+
+// Spec returns the spec this run was built from.
+func (fr *FlowRun) Spec() FlowSpec { return fr.spec }
+
+// Run executes the flow body, writing its human-readable output to out.
+func (fr *FlowRun) Run(out io.Writer) error { return fr.run(fr.Common, out) }
+
+// flowDef describes how one flow name maps onto a binary's flag set.
+type flowDef struct {
+	binary string            // flag-set name (the owning binary)
+	preset map[string]string // flag values the flow name itself implies
+	args   map[string]bool   // workload flags a FlowSpec may override
+	build  func(fs *flag.FlagSet) func(c *Common, out io.Writer) error
+}
+
+func argSet(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func buildCharacterize(fs *flag.FlagSet) func(c *Common, out io.Writer) error {
+	f := RegisterCharacterizeFlags(fs)
+	return func(c *Common, out io.Writer) error { return RunCharacterize(c, f, out) }
+}
+
+var flowDefs = map[string]flowDef{
+	"learn": {
+		binary: "characterize",
+		preset: map[string]string{"learn-only": "true"},
+		args:   argSet("param", "corner", "learn-tests"),
+		build:  buildCharacterize,
+	},
+	"optimize": {
+		binary: "characterize",
+		args:   argSet("param", "corner", "learn-tests", "evolve-conditions", "minimize"),
+		build:  buildCharacterize,
+	},
+	"table1": {
+		binary: "characterize",
+		preset: map[string]string{"table1": "true"},
+		args:   argSet("param", "corner", "learn-tests", "random-tests"),
+		build:  buildCharacterize,
+	},
+	"shmoo": {
+		binary: "shmoo",
+		args:   argSet("tests", "vdd-min", "vdd-max", "tdq-min", "tdq-max"),
+		build: func(fs *flag.FlagSet) func(c *Common, out io.Writer) error {
+			f := RegisterShmooFlags(fs)
+			return func(c *Common, out io.Writer) error { return RunShmoo(c, f, out) }
+		},
+	},
+	"lot": {
+		binary: "lotchar",
+		args:   argSet("dies", "wafers", "guardband"),
+		build: func(fs *flag.FlagSet) func(c *Common, out io.Writer) error {
+			f := RegisterLotFlags(fs)
+			return func(c *Common, out io.Writer) error { return RunLot(c, f, out) }
+		},
+	},
+}
+
+// FlowNames lists the known flow names, sorted.
+func FlowNames() []string {
+	names := make([]string, 0, len(flowDefs))
+	for n := range flowDefs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FlowArgs lists the workload flags a flow accepts in its spec, sorted.
+// Unknown flows return nil.
+func FlowArgs(flow string) []string {
+	def, ok := flowDefs[flow]
+	if !ok {
+		return nil
+	}
+	args := make([]string, 0, len(def.args))
+	for a := range def.args {
+		args = append(args, a)
+	}
+	sort.Strings(args)
+	return args
+}
+
+// NewFlowRun instantiates a FlowSpec: it rebuilds the owning binary's full
+// flag set (shared flags plus the binary's workload flags, all at their CLI
+// defaults), applies the flow preset and then the spec's Args, and returns
+// the runnable flow. Every error is a single pinned line, suitable for a
+// 400 response.
+func NewFlowRun(spec FlowSpec) (*FlowRun, error) {
+	def, ok := flowDefs[spec.Flow]
+	if !ok {
+		return nil, fmt.Errorf("cli: unknown flow %q (want %s)", spec.Flow, strings.Join(FlowNames(), ", "))
+	}
+	fs := flag.NewFlagSet(def.binary, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c := Register(fs)
+	run := def.build(fs)
+	if err := fs.Parse(nil); err != nil {
+		return nil, fmt.Errorf("cli: resolving %s flag defaults: %v", def.binary, err)
+	}
+	for name, val := range def.preset {
+		if err := fs.Set(name, val); err != nil {
+			return nil, fmt.Errorf("cli: applying flow %q preset %s=%s: %v", spec.Flow, name, val, err)
+		}
+	}
+	// Sorted application keeps rejection order deterministic.
+	names := make([]string, 0, len(spec.Args))
+	for name := range spec.Args {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !def.args[name] {
+			return nil, fmt.Errorf("cli: flow %q does not accept arg %q (want %s)",
+				spec.Flow, name, strings.Join(FlowArgs(spec.Flow), ", "))
+		}
+		if err := fs.Set(name, spec.Args[name]); err != nil {
+			return nil, fmt.Errorf("cli: flow %q arg %s=%q: %v", spec.Flow, name, spec.Args[name], err)
+		}
+	}
+	if err := fs.Set("seed", strconv.FormatInt(spec.Seed, 10)); err != nil {
+		return nil, fmt.Errorf("cli: flow %q seed %d: %v", spec.Flow, spec.Seed, err)
+	}
+	if spec.NoCache {
+		if err := fs.Set("no-cache", "true"); err != nil {
+			return nil, fmt.Errorf("cli: flow %q no-cache: %v", spec.Flow, err)
+		}
+	}
+	return &FlowRun{Common: c, spec: spec, run: run}, nil
+}
+
+// parseParam resolves the -param flag value.
+func parseParam(s string) (ate.Parameter, error) {
+	switch s {
+	case "tdq":
+		return ate.TDQ, nil
+	case "fmax":
+		return ate.Fmax, nil
+	case "vddmin":
+		return ate.VddMin, nil
+	default:
+		return 0, fmt.Errorf("unknown parameter %q (want tdq, fmax or vddmin)", s)
+	}
+}
+
+// parseCorner resolves the -corner flag value.
+func parseCorner(s string) (*dut.Die, error) {
+	switch s {
+	case "tt":
+		return dut.NewDie(0, dut.CornerTypical), nil
+	case "ff":
+		return dut.NewDie(0, dut.CornerFast), nil
+	case "ss":
+		return dut.NewDie(0, dut.CornerSlow), nil
+	default:
+		return nil, fmt.Errorf("unknown corner %q (want tt, ff or ss)", s)
+	}
+}

@@ -142,6 +142,7 @@ func (c *Common) finalizeRun(rep *telemetry.Report) error {
 	if err != nil {
 		return err
 	}
+	c.lastRunID = id
 	if err := c.ledger.AppendAttempt(id, c.buildAttempt(rep)); err != nil {
 		return err
 	}

@@ -4,12 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/runstore"
@@ -38,6 +36,12 @@ type Options struct {
 	// Called per scrape so live values (the fingerprint) stay current. Nil
 	// omits the gauge.
 	RunInfo func() map[string]string
+	// Jobs mounts a job-service handler (internal/jobs) under /jobs and
+	// /jobs/ on the admin mux, so the service API, the run observatory and
+	// the metrics exposition share one listener. Nil leaves /jobs unmounted
+	// (404). obs deliberately takes an opaque handler — the jobs package
+	// imports obs for Progress, not the other way around.
+	Jobs http.Handler
 	// Heartbeat is the interval between SSE comment frames on idle
 	// /progress streams, keeping proxies from reaping quiet connections and
 	// letting the server notice dead clients. Zero takes DefaultHeartbeat;
@@ -108,6 +112,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/runs/", s.handleRunsSub)
+	if s.opts.Jobs != nil {
+		mux.Handle("/jobs", s.opts.Jobs)
+		mux.Handle("/jobs/", s.opts.Jobs)
+	}
 	mux.HandleFunc("/debug/flight", s.handleFlight)
 	// net/http/pprof registers on DefaultServeMux as an import side effect;
 	// mounting the handlers explicitly keeps this mux self-contained.
@@ -133,6 +141,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/readyz">/readyz</a> — run-phase-aware readiness</li>
 <li><a href="/progress">/progress</a> — live run snapshot (add <code>Accept: text/event-stream</code> or <code>?sse=1</code> to stream)</li>
 <li><a href="/runs">/runs</a> — run-ledger listing (<code>?flow=&amp;seed=&amp;limit=&amp;offset=</code>); <code>/runs/&lt;id&gt;</code> inspects, <code>/runs/diff?a=&amp;b=</code> compares</li>
+<li><a href="/jobs">/jobs</a> — job service (when mounted): <code>POST /jobs</code> submits, <code>/jobs/&lt;id&gt;</code> inspects, <code>/jobs/&lt;id&gt;/progress</code> streams</li>
 <li><a href="/debug/flight">/debug/flight</a> — flight-recorder tail + latest runtime sample</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
 </ul></body></html>
@@ -207,9 +216,15 @@ type progressND struct {
 }
 
 func (s *Server) payload() progressPayload {
+	return s.payloadFor(s.opts.Progress.Current())
+}
+
+// payloadFor wraps one consistent snapshot with the server's ND context, so
+// the JSON and SSE variants (which obtain the snapshot differently) share
+// the assembly.
+func (s *Server) payloadFor(snap *Snapshot) progressPayload {
 	runs, tasks, maxw := s.opts.Progress.PoolStats()
 	streams, ftasks, depth, util, overlap := s.opts.Progress.FleetStats()
-	snap := s.opts.Progress.Current()
 	uptime := time.Since(s.started).Seconds()
 	var dps float64
 	if die, ok := snap.Items["die"]; ok && die.Done > 0 && uptime > 0 {
@@ -268,76 +283,16 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// wantsSSE selects the streaming variant: an explicit ?sse=1 or an Accept
-// header asking for text/event-stream.
-func wantsSSE(r *http.Request) bool {
-	if r.URL.Query().Get("sse") == "1" {
-		return true
-	}
-	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
-}
+// wantsSSE keeps the historical unexported spelling for the mux handlers.
+func wantsSSE(r *http.Request) bool { return WantsSSE(r) }
 
 // serveProgressSSE streams every published snapshot as one SSE "progress"
-// event. Subscribers take the watch channel before reading the snapshot, so
-// no publish is missed; bursts coalesce to the latest state.
+// event via the shared ServeProgressSSE loop, wrapping each snapshot with
+// this server's ND context.
 func (s *Server) serveProgressSSE(w http.ResponseWriter, r *http.Request) {
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-
-	// Heartbeat comments keep idle streams alive through proxies and turn a
-	// silently-departed client into a prompt write error, so the handler
-	// goroutine is reclaimed instead of parking on the watch channel forever.
-	hb := s.opts.Heartbeat
-	if hb == 0 {
-		hb = DefaultHeartbeat
-	}
-	var heartbeat <-chan time.Time
-	if hb > 0 {
-		ticker := time.NewTicker(hb)
-		defer ticker.Stop()
-		heartbeat = ticker.C
-	}
-
-	p := s.opts.Progress
-	var lastSeq uint64
-	first := true
-	for {
-		watch := p.Watch()
-		payload := s.payload()
-		if first || payload.Snapshot.Seq != lastSeq {
-			data, err := json.Marshal(payload)
-			if err != nil {
-				return
-			}
-			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
-				return
-			}
-			flusher.Flush()
-			lastSeq = payload.Snapshot.Seq
-			first = false
-		}
-		if payload.Snapshot.State == StateDone {
-			return
-		}
-		select {
-		case <-r.Context().Done():
-			return
-		case <-watch:
-		case <-heartbeat:
-			// SSE comment frame: ignored by clients, fatal on a dead socket.
-			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
-				return
-			}
-			flusher.Flush()
-		}
-	}
+	ServeProgressSSE(w, r, s.opts.Progress, s.opts.Heartbeat, func(snap *Snapshot) any {
+		return s.payloadFor(snap)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Reusable SSE progress streaming. The admin server's /progress endpoint
+// and the job service's per-job /jobs/<id>/progress streams share this one
+// loop, so both inherit the same guarantees: the watch channel is taken
+// before the snapshot is read (no publish is missed, bursts coalesce to the
+// latest state), idle streams carry heartbeat comments so dead clients are
+// reclaimed promptly, and the stream closes itself after the StateDone
+// frame is delivered.
+
+// WantsSSE selects the streaming variant of a progress endpoint: an
+// explicit ?sse=1 or an Accept header asking for text/event-stream.
+func WantsSSE(r *http.Request) bool {
+	if r.URL.Query().Get("sse") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// ServeProgressSSE streams every published snapshot of p as one SSE
+// "progress" event until the run reaches StateDone, the client disconnects,
+// or a write fails. payload builds the event body from one consistent
+// snapshot (return the snapshot itself, or wrap it with host context); nil
+// payload sends the bare snapshot. A zero heartbeat takes DefaultHeartbeat;
+// negative disables heartbeats.
+func ServeProgressSSE(w http.ResponseWriter, r *http.Request, p *Progress, heartbeat time.Duration, payload func(snap *Snapshot) any) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	if payload == nil {
+		payload = func(snap *Snapshot) any { return snap }
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Heartbeat comments keep idle streams alive through proxies and turn a
+	// silently-departed client into a prompt write error, so the handler
+	// goroutine is reclaimed instead of parking on the watch channel forever.
+	if heartbeat == 0 {
+		heartbeat = DefaultHeartbeat
+	}
+	var heartbeatC <-chan time.Time
+	if heartbeat > 0 {
+		ticker := time.NewTicker(heartbeat)
+		defer ticker.Stop()
+		heartbeatC = ticker.C
+	}
+
+	var lastSeq uint64
+	first := true
+	for {
+		watch := p.Watch()
+		snap := p.Current()
+		if first || snap.Seq != lastSeq {
+			data, err := json.Marshal(payload(snap))
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+			lastSeq = snap.Seq
+			first = false
+		}
+		if snap.State == StateDone {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-watch:
+		case <-heartbeatC:
+			// SSE comment frame: ignored by clients, fatal on a dead socket.
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

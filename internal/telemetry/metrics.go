@@ -342,6 +342,67 @@ func (s Snapshot) StripNonDeterministic() Snapshot {
 	return out
 }
 
+// Prefixed returns a copy of the snapshot with every metric name prefixed.
+// Multi-tenant hosts (the job service) use it to namespace each tenant's
+// registry — "job_j000001_" + "ate_measurements_total" — before merging the
+// tenants into one exposition. An nd_ prefix stays recognizable because the
+// namespace goes in front of it only after the host has decided what to
+// publish; StripNonDeterministic therefore runs before Prefixed when both
+// are wanted.
+func (s Snapshot) Prefixed(prefix string) Snapshot {
+	if prefix == "" {
+		return s
+	}
+	out := Snapshot{}
+	if len(s.Counters) > 0 {
+		out.Counters = make(map[string]int64, len(s.Counters))
+		for name, v := range s.Counters {
+			out.Counters[prefix+name] = v
+		}
+	}
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(s.Gauges))
+		for name, v := range s.Gauges {
+			out.Gauges[prefix+name] = v
+		}
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for name, v := range s.Histograms {
+			out.Histograms[prefix+name] = v
+		}
+	}
+	return out
+}
+
+// MergeSnapshots combines snapshots into one: names are unioned, and on a
+// collision the later snapshot wins (callers namespace with Prefixed first
+// when tenants may share names). The inputs are not modified.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			if out.Counters == nil {
+				out.Counters = make(map[string]int64)
+			}
+			out.Counters[name] = v
+		}
+		for name, v := range s.Gauges {
+			if out.Gauges == nil {
+				out.Gauges = make(map[string]float64)
+			}
+			out.Gauges[name] = v
+		}
+		for name, v := range s.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]HistogramSnapshot)
+			}
+			out.Histograms[name] = v
+		}
+	}
+	return out
+}
+
 // WriteJSON writes the snapshot as indented JSON. Non-finite gauge values
 // and the +Inf histogram bound are clamped to JSON-encodable forms.
 func (s Snapshot) WriteJSON(w io.Writer) error {

@@ -1,0 +1,77 @@
+package telemetry
+
+import "testing"
+
+func TestSnapshotPrefixed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ate_measurements_total").Add(7)
+	r.Gauge("ga_best_wcr").Set(1.25)
+	r.Histogram("search_measurements").Observe(3)
+
+	snap := r.Snapshot()
+	pre := snap.Prefixed("job_j000001_")
+
+	if got := pre.Counters["job_j000001_ate_measurements_total"]; got != 7 {
+		t.Fatalf("prefixed counter = %d, want 7", got)
+	}
+	if got := pre.Gauges["job_j000001_ga_best_wcr"]; got != 1.25 {
+		t.Fatalf("prefixed gauge = %v, want 1.25", got)
+	}
+	if h, ok := pre.Histograms["job_j000001_search_measurements"]; !ok || h.Count != 1 {
+		t.Fatalf("prefixed histogram missing or wrong count: %+v", h)
+	}
+	if _, ok := pre.Counters["ate_measurements_total"]; ok {
+		t.Fatal("unprefixed name leaked into prefixed snapshot")
+	}
+	// The original snapshot is untouched.
+	if got := snap.Counters["ate_measurements_total"]; got != 7 {
+		t.Fatalf("source snapshot mutated: %d", got)
+	}
+	// Empty prefix is the identity.
+	if got := snap.Prefixed("").Counters["ate_measurements_total"]; got != 7 {
+		t.Fatalf("identity prefix lost counter: %d", got)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	server := NewRegistry()
+	server.Counter("jobs_submitted_total").Add(3)
+	server.Gauge("worker_budget").Set(8)
+
+	jobA := NewRegistry()
+	jobA.Counter("ate_measurements_total").Add(100)
+	jobB := NewRegistry()
+	jobB.Counter("ate_measurements_total").Add(50)
+
+	merged := MergeSnapshots(
+		server.Snapshot(),
+		jobA.Snapshot().Prefixed("job_a_"),
+		jobB.Snapshot().Prefixed("job_b_"),
+	)
+	if got := merged.Counters["jobs_submitted_total"]; got != 3 {
+		t.Fatalf("server counter = %d, want 3", got)
+	}
+	if got := merged.Counters["job_a_ate_measurements_total"]; got != 100 {
+		t.Fatalf("job A counter = %d, want 100", got)
+	}
+	if got := merged.Counters["job_b_ate_measurements_total"]; got != 50 {
+		t.Fatalf("job B counter = %d, want 50", got)
+	}
+	if got := merged.Gauges["worker_budget"]; got != 8 {
+		t.Fatalf("gauge = %v, want 8", got)
+	}
+
+	// Later snapshots win collisions.
+	later := NewRegistry()
+	later.Counter("jobs_submitted_total").Add(9)
+	won := MergeSnapshots(server.Snapshot(), later.Snapshot())
+	if got := won.Counters["jobs_submitted_total"]; got != 9 {
+		t.Fatalf("collision winner = %d, want 9", got)
+	}
+
+	// Merging nothing yields an empty snapshot.
+	empty := MergeSnapshots()
+	if empty.Counters != nil || empty.Gauges != nil || empty.Histograms != nil {
+		t.Fatalf("empty merge not empty: %+v", empty)
+	}
+}
